@@ -1,0 +1,264 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// at reduced scale (fewer workloads, shorter runs); cmd/rcsweep runs the
+// full versions. Custom metrics carry the headline numbers: speedup_pct,
+// energy_ratio, area savings, circuit shares.
+package reactivenoc_test
+
+import (
+	"testing"
+
+	"reactivenoc/internal/chip"
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/core"
+	"reactivenoc/internal/exp"
+	"reactivenoc/internal/mesh"
+	"reactivenoc/internal/noc"
+	"reactivenoc/internal/sim"
+	"reactivenoc/internal/workload"
+)
+
+// benchScale keeps the per-figure macro-benchmarks to a few seconds each.
+func benchScale() exp.Scale {
+	return exp.Scale{MeasureOps: 3000, Apps: 4, Seed: 1}
+}
+
+func benchVariants(names ...string) []config.Variant {
+	out := make([]config.Variant, 0, len(names))
+	for _, n := range names {
+		v, ok := config.ByName(n)
+		if !ok {
+			panic("unknown variant " + n)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// BenchmarkTable1MessageMix reproduces the Table 1 message population on
+// the 64-core chip: the request/reply split and the per-type shares.
+func BenchmarkTable1MessageMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.RunSweep(config.Chip64(), benchVariants("Baseline"), benchScale())
+		t1 := exp.Table1From(s)
+		b.ReportMetric(t1.ReplyFrac*100, "reply_pct")
+		b.ReportMetric(t1.EligibleFrac*100, "eligible_reply_pct")
+	}
+}
+
+// BenchmarkTable5CircuitOrdinals reproduces the reservation-ordinal
+// distribution for complete circuits with eliminated acks, 64 cores.
+func BenchmarkTable5CircuitOrdinals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.RunSweep(config.Chip64(), benchVariants("Complete_NoAck"), benchScale())
+		t5 := exp.Table5From(s, "Complete_NoAck")
+		b.ReportMetric(t5.Ordinals[0]*100, "first_circuit_pct")
+		b.ReportMetric(t5.Failed*100, "failed_pct")
+	}
+}
+
+// BenchmarkTable6RouterArea evaluates the analytical router-area model for
+// every mechanism at both chip sizes.
+func BenchmarkTable6RouterArea(b *testing.B) {
+	var t6 *exp.Table6
+	for i := 0; i < b.N; i++ {
+		t6 = exp.Table6Compute()
+	}
+	b.ReportMetric(t6.Rows[0].Savings64*100, "fragmented64_pct")
+	b.ReportMetric(t6.Rows[1].Savings64*100, "complete64_pct")
+	b.ReportMetric(t6.Rows[2].Savings64*100, "timed64_pct")
+}
+
+// BenchmarkFig6CircuitOutcomes reproduces the reply-outcome breakdown
+// (circuit / failed / undone / scrounger / not-eligible / eliminated).
+func BenchmarkFig6CircuitOutcomes(b *testing.B) {
+	vs := benchVariants("Baseline", "Fragmented", "Complete_NoAck", "Timed_NoAck", "SlackDelay_1_NoAck", "Ideal")
+	for i := 0; i < b.N; i++ {
+		s := exp.RunSweep(config.Chip64(), vs, benchScale())
+		f := exp.Fig6From(s)
+		for _, row := range f.Rows {
+			if row.Variant == "Complete_NoAck" {
+				b.ReportMetric(row.Circuit*100, "circuit_pct")
+				b.ReportMetric(row.Eliminated*100, "eliminated_pct")
+			}
+			if row.Variant == "Timed_NoAck" {
+				b.ReportMetric(row.Undone*100, "timed_undone_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7MessageLatency reproduces the latency anatomy per message
+// class for the key variants.
+func BenchmarkFig7MessageLatency(b *testing.B) {
+	vs := benchVariants("Baseline", "Complete_NoAck")
+	for i := 0; i < b.N; i++ {
+		s := exp.RunSweep(config.Chip64(), vs, benchScale())
+		f := exp.Fig7From(s)
+		base, rc := f.Rows[0], f.Rows[1]
+		b.ReportMetric(base.CircRepNet, "baseline_reply_cycles")
+		b.ReportMetric(rc.CircRepNet, "circuit_reply_cycles")
+		b.ReportMetric(base.CircRepNet/rc.CircRepNet, "reply_latency_ratio")
+	}
+}
+
+// BenchmarkFig8NetworkEnergy reproduces the normalized network energy.
+func BenchmarkFig8NetworkEnergy(b *testing.B) {
+	vs := benchVariants("Baseline", "Fragmented", "Complete_NoAck")
+	for i := 0; i < b.N; i++ {
+		s := exp.RunSweep(config.Chip64(), vs, benchScale())
+		f := exp.Fig8From(s)
+		for _, row := range f.Rows {
+			switch row.Variant {
+			case "Fragmented":
+				b.ReportMetric(row.Mean, "fragmented_energy_ratio")
+			case "Complete_NoAck":
+				b.ReportMetric(row.Mean, "noack_energy_ratio")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9Speedup reproduces the average speedup of the key variants.
+func BenchmarkFig9Speedup(b *testing.B) {
+	vs := benchVariants("Baseline", "Complete_NoAck", "SlackDelay_1_NoAck", "Ideal")
+	for i := 0; i < b.N; i++ {
+		s := exp.RunSweep(config.Chip64(), vs, benchScale())
+		f := exp.Fig9From(s)
+		for _, row := range f.Rows {
+			switch row.Variant {
+			case "Complete_NoAck":
+				b.ReportMetric((row.Mean-1)*100, "noack_speedup_pct")
+			case "SlackDelay_1_NoAck":
+				b.ReportMetric((row.Mean-1)*100, "slackdelay_speedup_pct")
+			case "Ideal":
+				b.ReportMetric((row.Mean-1)*100, "ideal_speedup_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10PerAppSpeedup reproduces the per-application speedups of
+// timed circuits with slack and delay on the 64-core chip.
+func BenchmarkFig10PerAppSpeedup(b *testing.B) {
+	vs := benchVariants("Baseline", "SlackDelay_1_NoAck")
+	for i := 0; i < b.N; i++ {
+		s := exp.RunSweep(config.Chip64(), vs, benchScale())
+		f := exp.Fig10From(s, "SlackDelay_1_NoAck")
+		best, worst := 0.0, 10.0
+		for _, v := range f.Speedup {
+			if v > best {
+				best = v
+			}
+			if v < worst {
+				worst = v
+			}
+		}
+		b.ReportMetric((best-1)*100, "best_app_speedup_pct")
+		b.ReportMetric((worst-1)*100, "worst_app_speedup_pct")
+	}
+}
+
+// BenchmarkLoadThreshold reproduces the Section-5.5 congestion argument:
+// circuit failures vs offered load, untimed vs timed.
+func BenchmarkLoadThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ls := exp.LoadSweepRun(config.Chip64(), []float64{1, 8}, 2500)
+		heavy := ls.Rows[len(ls.Rows)-1]
+		b.ReportMetric(heavy.Failed["Complete_NoAck"]*100, "untimed_fail_pct")
+		b.ReportMetric(heavy.Failed["SlackDelay_1_NoAck"]*100, "timed_fail_pct")
+	}
+}
+
+// BenchmarkAblationCircuitsPerPort sweeps the paper's experimentally chosen
+// five-entries-per-port constant.
+func BenchmarkAblationCircuitsPerPort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ab := exp.AblateCircuitsPerPort(config.Chip64(), []int{1, 5}, 2500)
+		b.ReportMetric(ab.Rows[0].StorageFailed*100, "one_entry_storage_fail_pct")
+		b.ReportMetric(ab.Rows[1].StorageFailed*100, "five_entry_storage_fail_pct")
+	}
+}
+
+// BenchmarkScalability measures circuit construction across chip sizes.
+func BenchmarkScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ss := exp.ScaleSweepRun([]int{4, 8}, 2500)
+		b.ReportMetric(ss.Rows[0].Circuit["Complete_NoAck"]*100, "circuit16_pct")
+		b.ReportMetric(ss.Rows[1].Circuit["Complete_NoAck"]*100, "circuit64_pct")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks of the substrates.
+// ---------------------------------------------------------------------------
+
+// BenchmarkNetworkCycle measures the raw simulation rate of an idle-ish
+// 64-router mesh carrying light random traffic.
+func BenchmarkNetworkCycle(b *testing.B) {
+	m := mesh.New(8, 8)
+	net := noc.NewNetwork(noc.BaselineConfig(m), nil, nil)
+	for id := mesh.NodeID(0); int(id) < m.Nodes(); id++ {
+		net.NI(id).SetReceiver(func(*noc.Message, sim.Cycle) {})
+	}
+	rng := sim.NewRNG(1)
+	kernel := sim.NewKernel()
+	kernel.Register(net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%25 == 0 {
+			src := mesh.NodeID(rng.Intn(m.Nodes()))
+			dst := mesh.NodeID(rng.Intn(m.Nodes()))
+			net.Send(&noc.Message{Src: src, Dst: dst, VN: noc.VNRequest, Size: 1}, kernel.Now())
+		}
+		kernel.Step()
+	}
+}
+
+// BenchmarkChipRun measures a full 16-core end-to-end run.
+func BenchmarkChipRun(b *testing.B) {
+	c := config.Chip16()
+	v, _ := config.ByName("Complete_NoAck")
+	w := workload.Micro()
+	for i := 0; i < b.N; i++ {
+		spec := chip.DefaultSpec(c, v, w)
+		spec.MeasureOps = 3000
+		r := chip.MustRun(spec)
+		b.ReportMetric(float64(r.Cycles), "cycles")
+	}
+}
+
+// BenchmarkCircuitReservation measures the reservation fast path: a
+// request-reply pair on complete circuits, end to end.
+func BenchmarkCircuitReservation(b *testing.B) {
+	opts := core.Options{Mechanism: core.MechComplete, MaxCircuitsPerPort: 5}
+	m := mesh.New(8, 8)
+	mgr := core.NewManager(opts, m)
+	net := noc.NewNetwork(core.NetConfigFor(m, opts), mgr, mgr)
+	mgr.Bind(net)
+	delivered := 0
+	for id := mesh.NodeID(0); int(id) < m.Nodes(); id++ {
+		net.NI(id).SetReceiver(func(msg *noc.Message, now sim.Cycle) {
+			if msg.VN == noc.VNRequest {
+				rep := &noc.Message{
+					Src: msg.Dst, Dst: msg.Src, VN: noc.VNReply,
+					Size: 5, Block: msg.Block,
+				}
+				net.Send(rep, now)
+			} else {
+				delivered++
+			}
+		})
+	}
+	kernel := sim.NewKernel()
+	kernel.Register(net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := &noc.Message{
+			Src: 0, Dst: 63, VN: noc.VNRequest, Size: 1,
+			WantCircuit: true, Block: uint64(i+1) * 64,
+		}
+		net.Send(req, kernel.Now())
+		want := delivered + 1
+		kernel.RunUntil(func() bool { return delivered >= want }, 10000)
+	}
+}

@@ -1,0 +1,136 @@
+// Command rcsim runs one chip configuration on one workload and prints the
+// run's measurements: cycles, IPC, message mix, latency anatomy, circuit
+// statistics, energy and router area.
+//
+// Usage:
+//
+//	rcsim -chip 64 -variant Complete_NoAck -workload canneal -ops 12000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"reactivenoc/internal/chip"
+	"reactivenoc/internal/coherence"
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/core"
+	"reactivenoc/internal/workload"
+)
+
+func main() {
+	chipSize := flag.Int("chip", 16, "chip size: 16 or 64 cores")
+	variantName := flag.String("variant", "Complete_NoAck",
+		"mechanism variant: "+strings.Join(config.Names(), ", "))
+	workloadName := flag.String("workload", "micro",
+		"workload: micro, mix, or a parallel app ("+strings.Join(workload.Names(), ", ")+")")
+	ops := flag.Int64("ops", 12000, "measured operations per core")
+	warm := flag.Int64("warmup", 3000, "warm-up operations per core")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	baseline := flag.Bool("baseline", false, "also run the baseline and report speedup/energy ratios")
+	traceN := flag.Int("trace", 0, "print the last N message-lifecycle events")
+	audit := flag.Bool("audit", false, "run the conservation/coherence audits after the run")
+	flag.Parse()
+
+	var c config.Chip
+	switch *chipSize {
+	case 16:
+		c = config.Chip16()
+	case 64:
+		c = config.Chip64()
+	default:
+		fatal("chip must be 16 or 64")
+	}
+	v, ok := config.ByName(*variantName)
+	if !ok {
+		fatal("unknown variant %q (have: %s)", *variantName, strings.Join(config.Names(), ", "))
+	}
+	var w workload.Profile
+	if *workloadName == "micro" {
+		w = workload.Micro()
+	} else if w, ok = workload.ByName(*workloadName); !ok {
+		fatal("unknown workload %q", *workloadName)
+	}
+
+	spec := chip.DefaultSpec(c, v, w)
+	spec.MeasureOps = *ops
+	spec.WarmupOps = *warm
+	spec.Seed = *seed
+	spec.TraceCap = *traceN
+	spec.Audit = *audit
+	r, err := chip.Run(spec)
+	if err != nil {
+		fatal("run failed: %v", err)
+	}
+	report(r)
+	if *traceN > 0 {
+		fmt.Printf("\nlast %d lifecycle events:\n", len(r.Trace))
+		for _, e := range r.Trace {
+			fmt.Println("  " + e.String())
+		}
+	}
+
+	if *baseline && v.Name != "Baseline" {
+		bv, _ := config.ByName("Baseline")
+		bspec := spec
+		bspec.Variant = bv
+		b, err := chip.Run(bspec)
+		if err != nil {
+			fatal("baseline run failed: %v", err)
+		}
+		fmt.Printf("\nvs baseline: speedup %+.2f%%  energy %.3fx  area savings %+.2f%%\n",
+			(r.Speedup(b)-1)*100, r.Energy.Total()/b.Energy.Total(), r.AreaSavings*100)
+	}
+}
+
+func report(r *chip.Results) {
+	fmt.Printf("chip:      %s, variant %s, workload %s\n",
+		r.Spec.Chip.Name, r.Spec.Variant.Name, r.Spec.Workload.Name)
+	fmt.Printf("cycles:    %d (IPC %.3f)\n", r.Cycles, r.IPC())
+	memops := r.L1Hits + r.L1Misses
+	fmt.Printf("L1:        %.2f%% miss (%d of %d)   L2: %d misses\n",
+		100*float64(r.L1Misses)/float64(memops), r.L1Misses, memops, r.L2Misses)
+	total, reqs := r.Msgs.Totals()
+	fmt.Printf("messages:  %d network (%.1f%% requests / %.1f%% replies), %.3f flits/node/cycle injected\n",
+		total, 100*float64(reqs)/float64(total), 100-100*float64(reqs)/float64(total), injRate(r))
+	for t := coherence.MsgGetS; t <= coherence.MsgFwdMiss; t++ {
+		if n := r.Msgs.Count(t); n > 0 {
+			rec := r.Lat.TypeRecord(t)
+			fmt.Printf("  %-16v %8d  (%4.1f%%)  %6.1f+%.1f cy\n",
+				t, n, 100*r.Msgs.Fraction(t), rec.Network.Mean(), rec.Queueing.Mean())
+		}
+	}
+	fmt.Printf("latency:   requests %.1f+%.1f  circuit-replies %.1f+%.1f  other %.1f+%.1f (net+queue cycles)\n",
+		r.Lat.Requests.Network.Mean(), r.Lat.Requests.Queueing.Mean(),
+		r.Lat.CircuitReplies.Network.Mean(), r.Lat.CircuitReplies.Queueing.Mean(),
+		r.Lat.OtherReplies.Network.Mean(), r.Lat.OtherReplies.Queueing.Mean())
+	fmt.Printf("latency:   data replies p50/p95/p99 = %d/%d/%d cycles\n",
+		r.Lat.ReplyPercentile(0.5), r.Lat.ReplyPercentile(0.95), r.Lat.ReplyPercentile(0.99))
+	fmt.Printf("energy:    %.0f pJ dynamic (buffers %.0f, xbar %.0f, links %.0f, arb %.0f, circuits %.0f) + %.0f pJ static\n",
+		r.Energy.Dynamic, r.Energy.Buffers, r.Energy.Crossbars, r.Energy.Links,
+		r.Energy.Arbiters, r.Energy.Circuits, r.Energy.Static)
+	fmt.Printf("area:      router %+.2f%% vs baseline\n", r.AreaSavings*100)
+	if r.Circ != nil {
+		fmt.Printf("circuits:  built %d, undone %d, scrounger rides %d, eliminated acks %d\n",
+			r.Circ.CircuitsBuilt, r.Circ.CircuitsUndone, r.Circ.ScroungerRides, r.Circ.EliminatedAcks)
+		for o := core.OutcomeCircuit; o <= core.OutcomeEliminated; o++ {
+			fmt.Printf("  %-14s %.1f%%\n", o.String(), 100*r.Circ.OutcomeFraction(o))
+		}
+	}
+}
+
+// injRate is injected flits per node per cycle (the paper's load measure).
+func injRate(r *chip.Results) float64 {
+	var flits int64
+	for t, n := range r.Msgs.Network {
+		flits += n * int64(coherence.MsgType(t).SizeFlits())
+	}
+	return float64(flits) / float64(r.Cycles) / float64(r.Spec.Chip.Nodes())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rcsim: "+format+"\n", args...)
+	os.Exit(1)
+}

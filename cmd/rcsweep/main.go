@@ -1,0 +1,172 @@
+// Command rcsweep regenerates the paper's evaluation: every table and
+// figure, for the 16- and 64-core chips, across the workload suite, plus
+// the extension experiments (load threshold, ablations, scalability,
+// related-work comparison, tail latency, confidence intervals).
+//
+// Usage:
+//
+//	rcsweep                 # quick pass (subset of workloads, short runs)
+//	rcsweep -full           # the full suite (21 parallel apps + mix)
+//	rcsweep -exp fig9       # one experiment only
+//	rcsweep -chip 64        # one chip size only
+//	rcsweep -json           # machine-readable output
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/exp"
+)
+
+// formatter is what every experiment report implements.
+type formatter interface{ Format() string }
+
+func main() {
+	full := flag.Bool("full", false, "run the full workload suite")
+	which := flag.String("exp", "all",
+		"experiment: all, table1, table5, table6, fig6, fig7, fig8, fig9, fig10, load, ablate, scale, compare, tail, ci")
+	chipSel := flag.Int("chip", 0, "chip size (16 or 64); 0 = both")
+	ops := flag.Int64("ops", 0, "override measured operations per core")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text tables")
+	mdOut := flag.Bool("md", false, "emit the full evaluation as a markdown report (implies -exp all)")
+	flag.Parse()
+
+	if *mdOut {
+		scale := exp.QuickScale()
+		if *full {
+			scale = exp.FullScale()
+		}
+		if *ops > 0 {
+			scale.MeasureOps = *ops
+		}
+		scale.Seed = *seed
+		s16 := exp.RunSweep(config.Chip16(), config.Variants(), scale)
+		s64 := exp.RunSweep(config.Chip64(), config.Variants(), scale)
+		fmt.Print(exp.Markdown(s16, s64))
+		return
+	}
+
+	scale := exp.QuickScale()
+	if *full {
+		scale = exp.FullScale()
+	}
+	if *ops > 0 {
+		scale.MeasureOps = *ops
+	}
+	scale.Seed = *seed
+
+	chips := []config.Chip{config.Chip16(), config.Chip64()}
+	switch *chipSel {
+	case 0:
+	case 16:
+		chips = chips[:1]
+	case 64:
+		chips = chips[1:]
+	default:
+		fmt.Fprintln(os.Stderr, "rcsweep: -chip must be 16 or 64")
+		os.Exit(1)
+	}
+
+	report := map[string]any{}
+	emit := func(key string, v formatter) {
+		if *jsonOut {
+			report[key] = v
+		} else {
+			fmt.Println(v.Format())
+		}
+	}
+	defer func() {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(report); err != nil {
+				fmt.Fprintf(os.Stderr, "rcsweep: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}()
+
+	want := func(name string) bool { return *which == "all" || *which == name }
+
+	// Table 6 needs no simulation.
+	if want("table6") {
+		emit("table6", exp.Table6Compute())
+	}
+	if *which == "table6" {
+		return
+	}
+
+	// The extension experiments run their own sweeps.
+	switch *which {
+	case "load":
+		for _, c := range chips {
+			emit("load_"+c.Name, exp.LoadSweepRun(c, []float64{0.5, 1, 2, 4, 8, 16}, scale.MeasureOps))
+		}
+		return
+	case "ablate":
+		for _, c := range chips {
+			emit("ablate_circuits_"+c.Name, exp.AblateCircuitsPerPort(c, []int{1, 2, 3, 5, 8}, scale.MeasureOps))
+			emit("ablate_slack_"+c.Name, exp.AblateSlack(c, []int{0, 1, 2, 4, 8}, scale.MeasureOps))
+		}
+		return
+	case "scale":
+		emit("scale", exp.ScaleSweepRun([]int{4, 6, 8}, scale.MeasureOps))
+		return
+	case "compare":
+		for _, c := range chips {
+			emit("compare_"+c.Name, exp.CompareRun(c, scale.MeasureOps))
+		}
+		return
+	case "tail":
+		for _, c := range chips {
+			emit("tail_"+c.Name, exp.TailRun(c, scale.MeasureOps))
+		}
+		return
+	case "ci":
+		for _, c := range chips {
+			emit("ci_"+c.Name, exp.CIRun(c, []string{"Complete_NoAck", "SlackDelay_1_NoAck"}, 5, scale.MeasureOps))
+		}
+		return
+	}
+
+	for _, c := range chips {
+		t0 := time.Now()
+		if !*jsonOut {
+			fmt.Printf("==== %s chip (%d runs x %d ops/core) ====\n",
+				c.Name, len(config.Variants())*len(scale.Workloads()), scale.MeasureOps)
+		}
+		sweep := exp.RunSweep(c, config.Variants(), scale)
+		if !*jsonOut {
+			fmt.Printf("sweep finished in %v\n\n", time.Since(t0).Round(time.Millisecond))
+		}
+
+		big := c.Nodes() == 64 || len(chips) == 1
+		if want("table1") && big {
+			emit("table1", exp.Table1From(sweep))
+		}
+		if want("table5") && big {
+			emit("table5", exp.Table5From(sweep, "Complete_NoAck"))
+		}
+		if want("fig6") {
+			emit("fig6_"+c.Name, exp.Fig6From(sweep))
+		}
+		if want("fig7") {
+			emit("fig7_"+c.Name, exp.Fig7From(sweep))
+		}
+		if want("fig8") {
+			emit("fig8_"+c.Name, exp.Fig8From(sweep))
+		}
+		if want("fig9") {
+			emit("fig9_"+c.Name, exp.Fig9From(sweep))
+		}
+		if want("fig10") && big {
+			emit("fig10", exp.Fig10From(sweep, "SlackDelay_1_NoAck"))
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package reactivenoc reproduces "Dynamic construction of circuits for
+// reactive traffic in homogeneous CMPs" (Ortín-Obón et al., DATE 2014): a
+// cycle-accurate chip-multiprocessor simulator — mesh NoC with wormhole VC
+// routers, MESI directory coherence, trace-driven cores — plus the paper's
+// Reactive Circuits mechanism and the full evaluation harness.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each table and figure at reduced scale; the
+// cmd/rcsweep tool runs the full suite.
+package reactivenoc

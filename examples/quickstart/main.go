@@ -1,0 +1,39 @@
+// Quickstart: build a 16-core chip, run the same workload on the baseline
+// network and on complete Reactive Circuits with eliminated
+// acknowledgements, and compare cycles, latency, energy and router area.
+package main
+
+import (
+	"fmt"
+
+	"reactivenoc/internal/chip"
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/workload"
+)
+
+func main() {
+	c := config.Chip16()
+	w := workload.Micro()
+
+	baselineVariant, _ := config.ByName("Baseline")
+	circuitsVariant, _ := config.ByName("Complete_NoAck")
+
+	fmt.Printf("running %s on %s...\n", w.Name, c.Name)
+	baseline := chip.MustRun(chip.DefaultSpec(c, baselineVariant, w))
+	circuits := chip.MustRun(chip.DefaultSpec(c, circuitsVariant, w))
+
+	fmt.Printf("\n%-28s %12s %12s\n", "", "baseline", "reactive")
+	fmt.Printf("%-28s %12d %12d\n", "execution cycles", baseline.Cycles, circuits.Cycles)
+	fmt.Printf("%-28s %12.1f %12.1f\n", "data-reply latency (cycles)",
+		baseline.Lat.CircuitReplies.Network.Mean(), circuits.Lat.CircuitReplies.Network.Mean())
+	fmt.Printf("%-28s %12.0f %12.0f\n", "network energy (pJ)",
+		baseline.Energy.Total(), circuits.Energy.Total())
+
+	fmt.Printf("\nReactive Circuits: %+.2f%% speedup, %.1f%% network energy saved, %.1f%% smaller routers\n",
+		(circuits.Speedup(baseline)-1)*100,
+		(1-circuits.Energy.Total()/baseline.Energy.Total())*100,
+		circuits.AreaSavings*100)
+	st := circuits.Circ
+	fmt.Printf("%d circuits built, %d acknowledgements eliminated, %.0f%% of replies rode a circuit\n",
+		st.CircuitsBuilt, st.EliminatedAcks, 100*st.OutcomeFraction(1))
+}

@@ -1,0 +1,3 @@
+module reactivenoc
+
+go 1.22

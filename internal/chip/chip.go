@@ -1,0 +1,307 @@
+// Package chip assembles the full simulated machine — network, circuit
+// manager, caches, coherence controllers, memory controllers and cores —
+// and runs measured experiments on it. Every table and figure of the
+// evaluation is regenerated from the Results this package produces.
+package chip
+
+import (
+	"fmt"
+
+	"reactivenoc/internal/cache"
+	"reactivenoc/internal/coherence"
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/core"
+	"reactivenoc/internal/cpu"
+	"reactivenoc/internal/mesh"
+	"reactivenoc/internal/noc"
+	"reactivenoc/internal/power"
+	"reactivenoc/internal/sim"
+	"reactivenoc/internal/trace"
+	"reactivenoc/internal/workload"
+)
+
+// Spec describes one simulation run.
+type Spec struct {
+	Chip     config.Chip
+	Variant  config.Variant
+	Workload workload.Profile
+
+	// WarmupOps and MeasureOps are retired operations per core: the
+	// warm-up fills the caches without statistics (the paper warms for
+	// 200M cycles), then the measured phase runs to completion.
+	WarmupOps  int64
+	MeasureOps int64
+
+	Seed uint64
+	// Horizon caps the run (cycles); 0 selects a generous default.
+	Horizon sim.Cycle
+	// TraceCap, when positive, attaches a lifecycle tracer retaining the
+	// last TraceCap events (returned in Results.Trace).
+	TraceCap int
+	// Audit runs every conservation and coherence audit after the run
+	// (leaked circuit entries, unreturned credits, directory soundness)
+	// and fails the run on any violation.
+	Audit bool
+}
+
+// DefaultSpec returns a spec with sane defaults for the given chip,
+// variant and workload: warm-up long enough to touch the working set a few
+// times (the paper warms caches for 200M cycles before measuring).
+func DefaultSpec(c config.Chip, v config.Variant, w workload.Profile) Spec {
+	return Spec{
+		Chip: c, Variant: v, Workload: w,
+		WarmupOps:  3000,
+		MeasureOps: 12000,
+		Seed:       1,
+	}
+}
+
+// CoreStats summarizes one core's measured phase.
+type CoreStats struct {
+	Retired     int64
+	Loads       int64
+	Stores      int64
+	Misses      int64
+	StallCycles int64
+	FinishedAt  sim.Cycle
+}
+
+// Results carries everything the evaluation needs from one run.
+type Results struct {
+	Spec Spec
+
+	// Cycles is the measured-phase makespan: the cycle the last core
+	// retired its final operation, minus the warm-up boundary.
+	Cycles sim.Cycle
+
+	Cores []CoreStats
+
+	Msgs coherence.MsgStats
+	Lat  coherence.LatencyStats
+	// Circ holds the circuit-mechanism statistics (nil for baseline).
+	Circ *core.Stats
+
+	Events noc.PowerEvents
+	Energy power.Energy
+	// AreaSavings is the router-area delta vs the baseline router.
+	AreaSavings float64
+
+	L1Hits, L1Misses int64
+	L2Hits, L2Misses int64
+
+	// InjRate is flits per node per cycle, the network-load measure the
+	// paper quotes ("less than four flits every 100 cycles").
+	InjRate float64
+
+	// Trace holds the retained lifecycle events when Spec.TraceCap > 0.
+	Trace []trace.Event
+}
+
+// IPC returns retired operations per core per cycle.
+func (r *Results) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	var retired int64
+	for _, c := range r.Cores {
+		retired += c.Retired
+	}
+	return float64(retired) / float64(r.Cycles) / float64(len(r.Cores))
+}
+
+// Speedup returns baseline.Cycles / r.Cycles.
+func (r *Results) Speedup(baseline *Results) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(r.Cycles)
+}
+
+// watchdogStall is how long the cores may collectively retire nothing
+// before the run is declared deadlocked. Memory round trips under heavy
+// line-blocking contention reach a few thousand cycles; an order of
+// magnitude above that is unambiguous.
+const watchdogStall sim.Cycle = 50_000
+
+// coresTicker drives every core each cycle, after the system.
+type coresTicker struct {
+	cores []*cpu.Core
+}
+
+func (ct *coresTicker) Tick(now sim.Cycle) {
+	for _, c := range ct.cores {
+		c.Tick(now)
+	}
+}
+
+// Run executes the spec and returns its measurements.
+func Run(spec Spec) (*Results, error) {
+	if spec.MeasureOps <= 0 {
+		return nil, fmt.Errorf("chip: MeasureOps must be positive")
+	}
+	m := mesh.New(spec.Chip.Width, spec.Chip.Height)
+	sys := coherence.NewSystem(m, spec.Variant.Opts, spec.Chip.MCs)
+	n := m.Nodes()
+
+	// Functional cache warming (the paper warms for 200M cycles): every
+	// region each core touches is installed in its home L2 bank, and the
+	// hot private region in the core's L1.
+	for i := 0; i < n; i++ {
+		for _, reg := range spec.Workload.Regions(i) {
+			for l := 0; l < reg.Lines; l++ {
+				tile := mesh.NodeID(-1)
+				if l < reg.L1Lines {
+					tile = mesh.NodeID(i)
+				}
+				sys.Prefill(reg.Start+cache.Addr(l*64), tile, reg.Exclusive)
+			}
+		}
+	}
+
+	var tr *trace.Buffer
+	if spec.TraceCap > 0 {
+		tr = trace.New(spec.TraceCap)
+		sys.Net.SetTracer(tr)
+		if sys.Mgr != nil {
+			sys.Mgr.SetTracer(tr)
+		}
+	}
+
+	cores := make([]*cpu.Core, n)
+	for i := 0; i < n; i++ {
+		st := spec.Workload.Stream(i, spec.Seed)
+		limit := spec.WarmupOps
+		if limit <= 0 {
+			limit = spec.MeasureOps
+		}
+		cores[i] = cpu.New(i, sys.L1s[i], st, limit)
+	}
+
+	kernel := sim.NewKernel()
+	kernel.Register(sys)
+	kernel.Register(&coresTicker{cores: cores})
+
+	horizon := spec.Horizon
+	if horizon == 0 {
+		horizon = sim.Cycle(spec.WarmupOps+spec.MeasureOps)*220 + 1_000_000
+	}
+
+	allDone := func() bool {
+		for _, c := range cores {
+			if !c.Done() {
+				return false
+			}
+		}
+		return !sys.Busy()
+	}
+
+	// runPhase advances until every core finishes, with a forward-progress
+	// watchdog: if no operation retires for a long stretch, the phase is
+	// deadlocked and the network state dump is attached to the error.
+	runPhase := func(name string) error {
+		deadline := kernel.Now() + horizon
+		lastRetired, lastProgress := int64(-1), kernel.Now()
+		for kernel.Now() < deadline {
+			if allDone() {
+				return nil
+			}
+			kernel.Step()
+			var retired int64
+			for _, c := range cores {
+				retired += c.Retired
+			}
+			if retired != lastRetired {
+				lastRetired, lastProgress = retired, kernel.Now()
+			} else if kernel.Now()-lastProgress > watchdogStall {
+				diag := sys.Net.DumpState()
+				if sys.Mgr != nil {
+					diag += sys.Mgr.DumpCircuits(kernel.Now())
+				}
+				return fmt.Errorf("chip: %s phase made no progress for %d cycles (deadlock?)\n%s",
+					name, watchdogStall, diag)
+			}
+		}
+		if allDone() {
+			return nil
+		}
+		return fmt.Errorf("chip: %s phase did not finish within %d cycles", name, horizon)
+	}
+
+	if spec.WarmupOps > 0 {
+		if err := runPhase("warm-up"); err != nil {
+			return nil, err
+		}
+		sys.ResetStats()
+		for _, c := range cores {
+			c.ResetStats(spec.MeasureOps)
+		}
+	} else {
+		for _, c := range cores {
+			c.ResetStats(spec.MeasureOps)
+		}
+	}
+
+	measureStart := kernel.Now()
+	if err := runPhase("measured"); err != nil {
+		return nil, err
+	}
+
+	if spec.Audit {
+		if err := sys.AuditQuiescent(kernel.Now()); err != nil {
+			return nil, fmt.Errorf("chip: post-run audit failed: %w", err)
+		}
+	}
+
+	res := &Results{Spec: spec}
+	var lastFinish sim.Cycle
+	for _, c := range cores {
+		if c.FinishedAt > lastFinish {
+			lastFinish = c.FinishedAt
+		}
+		res.Cores = append(res.Cores, CoreStats{
+			Retired:     c.Retired,
+			Loads:       c.Loads,
+			Stores:      c.Stores,
+			Misses:      c.Misses,
+			StallCycles: c.StallCycles,
+			FinishedAt:  c.FinishedAt,
+		})
+	}
+	res.Cycles = lastFinish - measureStart
+	if res.Cycles <= 0 {
+		res.Cycles = kernel.Now() - measureStart
+	}
+
+	res.Msgs = sys.Msgs
+	res.Lat = sys.Lat
+	if sys.Mgr != nil {
+		st := sys.Mgr.Stats
+		res.Circ = &st
+	}
+	res.Events = *sys.Net.Events()
+	res.Energy = power.NetworkEnergy(&res.Events, n, spec.Variant.Opts, int64(res.Cycles))
+	res.AreaSavings = power.AreaSavings(n, spec.Variant.Opts)
+
+	for i := 0; i < n; i++ {
+		res.L1Hits += sys.L1s[i].Cache().Hits
+		res.L1Misses += sys.L1s[i].Cache().Misses
+		res.L2Hits += sys.L2s[i].Cache().Hits
+		res.L2Misses += sys.L2s[i].Cache().Misses
+	}
+	if res.Cycles > 0 {
+		res.InjRate = float64(res.Events.LinkFlits) / float64(res.Cycles) / float64(n)
+	}
+	if tr != nil {
+		res.Trace = tr.Events()
+	}
+	return res, nil
+}
+
+// MustRun is Run, panicking on error (benchmarks, examples).
+func MustRun(spec Spec) *Results {
+	r, err := Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,245 @@
+package chip
+
+import (
+	"testing"
+
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/core"
+	"reactivenoc/internal/workload"
+)
+
+func variant(t *testing.T, name string) config.Variant {
+	t.Helper()
+	v, ok := config.ByName(name)
+	if !ok {
+		t.Fatalf("unknown variant %s", name)
+	}
+	return v
+}
+
+func quickSpec(t *testing.T, c config.Chip, vname string) Spec {
+	t.Helper()
+	s := DefaultSpec(c, variant(t, vname), workload.Micro())
+	s.WarmupOps = 1000
+	s.MeasureOps = 3000
+	return s
+}
+
+func TestBaselineRunProducesSaneResults(t *testing.T) {
+	r := MustRun(quickSpec(t, config.Chip16(), "Baseline"))
+	if r.Cycles <= 0 {
+		t.Fatal("no cycles measured")
+	}
+	ipc := r.IPC()
+	if ipc < 0.2 || ipc > 1.2 {
+		t.Fatalf("IPC %.3f outside the plausible in-order band", ipc)
+	}
+	if len(r.Cores) != 16 {
+		t.Fatalf("%d core records", len(r.Cores))
+	}
+	for i, cs := range r.Cores {
+		if cs.Retired < 3000 {
+			t.Fatalf("core %d retired %d < 3000", i, cs.Retired)
+		}
+	}
+	total, reqs := r.Msgs.Totals()
+	if total == 0 || reqs == 0 {
+		t.Fatal("no network traffic")
+	}
+	replyFrac := 1 - float64(reqs)/float64(total)
+	if replyFrac < 0.45 || replyFrac > 0.75 {
+		t.Fatalf("reply fraction %.2f implausible", replyFrac)
+	}
+	if r.Circ != nil {
+		t.Fatal("baseline must have no circuit stats")
+	}
+	if r.Energy.Total() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if r.AreaSavings != 0 {
+		t.Fatal("baseline area savings must be zero")
+	}
+}
+
+func TestLightNetworkLoad(t *testing.T) {
+	// The paper's environment: "nodes inject, in average, less than four
+	// flits every 100 cycles". Injected flits = messages x size.
+	r := MustRun(quickSpec(t, config.Chip64(), "Baseline"))
+	var flits int64
+	for tp, n := range r.Msgs.Network {
+		flits += n * int64(coherenceSize(tp))
+	}
+	rate := float64(flits) / float64(r.Cycles) / 64
+	if rate > 0.08 {
+		t.Fatalf("injection rate %.4f flits/node/cycle is not a lightly loaded network", rate)
+	}
+}
+
+func coherenceSize(t int) int {
+	switch t {
+	case 5, 7, 8, 9, 13, 14: // data message type ids
+		return 5
+	}
+	return 1
+}
+
+func TestCircuitsSpeedUpAndSaveEnergy(t *testing.T) {
+	base := MustRun(quickSpec(t, config.Chip64(), "Baseline"))
+	rc := MustRun(quickSpec(t, config.Chip64(), "Complete_NoAck"))
+	sp := rc.Speedup(base)
+	if sp < 1.0 || sp > 1.25 {
+		t.Fatalf("Complete_NoAck speedup %.4f outside the paper-plausible band", sp)
+	}
+	er := rc.Energy.Total() / base.Energy.Total()
+	if er > 0.97 || er < 0.6 {
+		t.Fatalf("energy ratio %.4f outside the paper-plausible band", er)
+	}
+	if rc.Circ == nil || rc.Circ.CircuitsBuilt == 0 {
+		t.Fatal("no circuits built")
+	}
+	if rc.Circ.EliminatedAcks == 0 {
+		t.Fatal("NoAck eliminated nothing")
+	}
+	// Circuit replies must be faster than baseline's.
+	if rc.Lat.CircuitReplies.Network.Mean() >= base.Lat.CircuitReplies.Network.Mean() {
+		t.Fatal("circuit replies not faster than baseline")
+	}
+}
+
+func TestRunsAreDeterministic(t *testing.T) {
+	a := MustRun(quickSpec(t, config.Chip16(), "SlackDelay_1_NoAck"))
+	b := MustRun(quickSpec(t, config.Chip16(), "SlackDelay_1_NoAck"))
+	if a.Cycles != b.Cycles {
+		t.Fatalf("cycles differ: %d vs %d", a.Cycles, b.Cycles)
+	}
+	at, _ := a.Msgs.Totals()
+	bt, _ := b.Msgs.Totals()
+	if at != bt {
+		t.Fatalf("message totals differ: %d vs %d", at, bt)
+	}
+	if a.Circ.CircuitsBuilt != b.Circ.CircuitsBuilt {
+		t.Fatal("circuit counts differ")
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	s1 := quickSpec(t, config.Chip16(), "Baseline")
+	s2 := s1
+	s2.Seed = 99
+	a, b := MustRun(s1), MustRun(s2)
+	if a.Cycles == b.Cycles {
+		t.Log("identical cycles across seeds (possible but unlikely)")
+	}
+	at, _ := a.Msgs.Totals()
+	bt, _ := b.Msgs.Totals()
+	if at == bt {
+		t.Fatal("different seeds produced identical traffic")
+	}
+}
+
+func TestRejectsBadSpec(t *testing.T) {
+	s := quickSpec(t, config.Chip16(), "Baseline")
+	s.MeasureOps = 0
+	if _, err := Run(s); err == nil {
+		t.Fatal("zero MeasureOps accepted")
+	}
+	s = quickSpec(t, config.Chip16(), "Baseline")
+	s.Horizon = 10 // absurdly short
+	if _, err := Run(s); err == nil {
+		t.Fatal("impossible horizon should error, not hang")
+	}
+}
+
+func TestWarmupSkippable(t *testing.T) {
+	s := quickSpec(t, config.Chip16(), "Baseline")
+	s.WarmupOps = 0
+	r := MustRun(s)
+	if r.Cycles <= 0 {
+		t.Fatal("run without warm-up failed")
+	}
+}
+
+func TestAllVariantsRunAt16(t *testing.T) {
+	for _, v := range config.Variants() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			t.Parallel()
+			s := quickSpec(t, config.Chip16(), v.Name)
+			s.Audit = true // every run must pass the conservation audits
+			r := MustRun(s)
+			if r.Cycles <= 0 {
+				t.Fatal("no cycles")
+			}
+			if v.Opts.Enabled() {
+				if r.Circ == nil {
+					t.Fatal("missing circuit stats")
+				}
+				if v.Opts.Mechanism != core.MechFragmented &&
+					r.Circ.Replies[core.OutcomeCircuit] == 0 {
+					t.Fatal("no replies rode circuits")
+				}
+			}
+		})
+	}
+}
+
+func TestIdealIsUpperBoundOnCircuitUse(t *testing.T) {
+	ideal := MustRun(quickSpec(t, config.Chip16(), "Ideal"))
+	complete := MustRun(quickSpec(t, config.Chip16(), "Complete"))
+	fi := ideal.Circ.OutcomeFraction(core.OutcomeCircuit)
+	fc := complete.Circ.OutcomeFraction(core.OutcomeCircuit)
+	if fi < fc {
+		t.Fatalf("ideal rides fewer circuits (%.3f) than complete (%.3f)", fi, fc)
+	}
+	if ideal.Circ.Replies[core.OutcomeFailed] != 0 {
+		t.Fatal("ideal reservation must never fail")
+	}
+}
+
+func TestTraceCapture(t *testing.T) {
+	s := quickSpec(t, config.Chip16(), "Complete_NoAck")
+	s.TraceCap = 64
+	r := MustRun(s)
+	if len(r.Trace) == 0 {
+		t.Fatal("no trace events captured")
+	}
+	if len(r.Trace) > 64 {
+		t.Fatalf("trace exceeded its cap: %d", len(r.Trace))
+	}
+	kinds := map[string]bool{}
+	for _, e := range r.Trace {
+		kinds[e.Kind.String()] = true
+	}
+	for _, want := range []string{"enqueue", "inject", "deliver"} {
+		if !kinds[want] {
+			t.Errorf("trace misses %s events (have %v)", want, kinds)
+		}
+	}
+}
+
+func TestNoTraceByDefault(t *testing.T) {
+	r := MustRun(quickSpec(t, config.Chip16(), "Baseline"))
+	if r.Trace != nil {
+		t.Fatal("tracing should be off by default")
+	}
+}
+
+func TestComparatorsRunAt16(t *testing.T) {
+	for _, v := range config.Comparators() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			t.Parallel()
+			s := DefaultSpec(config.Chip16(), v, workload.Micro())
+			s.WarmupOps = 1000
+			s.MeasureOps = 3000
+			s.Audit = true
+			r := MustRun(s)
+			if r.Cycles <= 0 {
+				t.Fatal("no cycles")
+			}
+			if v.Name == "Probe_DejaVu" && (r.Circ == nil || r.Circ.ProbesSent == 0) {
+				t.Fatal("probe comparator sent no setup flits")
+			}
+		})
+	}
+}

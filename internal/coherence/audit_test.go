@@ -1,0 +1,69 @@
+package coherence
+
+import (
+	"testing"
+
+	"reactivenoc/internal/cache"
+	"reactivenoc/internal/core"
+)
+
+func TestAuditPassesAfterCleanRun(t *testing.T) {
+	b := newTB(t, 2, 2, core.Options{Mechanism: core.MechComplete, MaxCircuitsPerPort: 5, NoAck: true})
+	addr := b.remoteAddr(3, 0)
+	b.access(0, addr, true)
+	b.access(1, addr, false)
+	b.drain()
+	if err := b.sys.AuditQuiescent(b.kernel.Now()); err != nil {
+		t.Fatalf("clean run failed the audit: %v", err)
+	}
+}
+
+func TestAuditDetectsInclusionViolation(t *testing.T) {
+	b := newTB(t, 2, 2, core.Options{})
+	addr := b.remoteAddr(3, 0)
+	b.access(0, addr, false)
+	b.drain()
+	// Corrupt: drop the bank copy while the L1 still holds the line.
+	b.sys.L2s[3].Cache().Invalidate(addr)
+	if err := b.sys.AuditCoherence(); err == nil {
+		t.Fatal("inclusion violation not detected")
+	}
+}
+
+func TestAuditDetectsOwnershipMismatch(t *testing.T) {
+	b := newTB(t, 2, 2, core.Options{})
+	addr := b.remoteAddr(3, 0)
+	b.access(0, addr, true) // tile 0 owns M
+	b.drain()
+	line, _ := b.sys.L2s[3].Cache().Peek(addr)
+	line.Owner = 2 // corrupt the directory
+	if err := b.sys.AuditCoherence(); err == nil {
+		t.Fatal("ownership mismatch not detected")
+	}
+}
+
+func TestAuditDetectsDoubleExclusive(t *testing.T) {
+	b := newTB(t, 2, 2, core.Options{})
+	addr := b.remoteAddr(3, 0)
+	b.access(0, addr, true)
+	b.drain()
+	// Forge a second exclusive copy in another L1.
+	l1 := b.sys.L1s[1].Cache()
+	v := l1.Victim(cache.Addr(addr))
+	l1.Fill(v, cache.Addr(addr), l1M)
+	if err := b.sys.AuditCoherence(); err == nil {
+		t.Fatal("double-exclusive not detected")
+	}
+}
+
+// The circuit-leak case is exercised in internal/core's own tests; here we
+// only need the wiring check that a busy system refuses the audit.
+func TestAuditRefusesBusySystem(t *testing.T) {
+	b := newTB(t, 2, 2, core.Options{})
+	b.sys.L1s[0].Access(b.remoteAddr(3, 0), false, 0)
+	// Don't run: the miss is outstanding.
+	if err := b.sys.AuditQuiescent(0); err == nil {
+		t.Fatal("audit must refuse a busy system")
+	}
+	b.kernel.RunUntil(func() bool { return !b.sys.Busy() }, 100000)
+}

@@ -1,0 +1,204 @@
+package coherence
+
+import (
+	"testing"
+
+	"reactivenoc/internal/cache"
+	"reactivenoc/internal/core"
+)
+
+// evictLine forces tile id's L1 to evict addr by filling its set with
+// conflicting lines (same L1 set, same home bank pattern irrelevant).
+func (b *tb) evictLine(id int, addr cache.Addr) {
+	l1 := b.sys.L1s[id].Cache().Config()
+	stride := cache.Addr(l1.Sets() * l1.LineBytes)
+	for i := 1; i <= l1.Ways; i++ {
+		b.access(id, addr+cache.Addr(i)*stride, false)
+	}
+	if _, ok := b.sys.L1s[id].Cache().Peek(addr); ok {
+		b.t.Fatalf("line %#x survived the eviction storm", addr)
+	}
+}
+
+func TestSilentCleanEvictionThenFwdMiss(t *testing.T) {
+	b := newTB(t, 2, 2, core.Options{})
+	addr := b.remoteAddr(3, 0)
+	b.access(0, addr, false) // tile 0 exclusive (clean)
+	b.evictLine(0, addr)     // silent drop: the directory still says owner=0
+	b.drain()
+
+	// Tile 1 requests: the forward finds nothing; the bank serves.
+	lat := b.access(1, addr, false)
+	b.drain()
+	if lat == 0 {
+		t.Fatal("expected a miss")
+	}
+	if got := b.sys.Msgs.Count(MsgFwdMiss); got != 1 {
+		t.Fatalf("FwdMiss count %d, want 1", got)
+	}
+	line, ok := b.sys.L1s[1].Cache().Peek(addr)
+	if !ok || line.State == 0 {
+		t.Fatal("requestor did not receive the line")
+	}
+	l2line, _ := b.sys.L2s[3].Cache().Peek(addr)
+	if l2line.Owner != 1 {
+		t.Fatalf("directory owner %d, want 1", l2line.Owner)
+	}
+	checkCoherenceInvariants(t, b.sys)
+}
+
+func TestStaleSelfOwnerRefetch(t *testing.T) {
+	b := newTB(t, 2, 2, core.Options{})
+	addr := b.remoteAddr(3, 0)
+	b.access(0, addr, false)
+	b.evictLine(0, addr)
+	b.drain()
+	fwdsBefore := b.sys.Msgs.Count(MsgFwd)
+
+	// The same tile re-requests: no forward to itself.
+	if lat := b.access(0, addr, false); lat == 0 {
+		t.Fatal("expected a miss after the silent drop")
+	}
+	b.drain()
+	if got := b.sys.Msgs.Count(MsgFwd); got != fwdsBefore {
+		t.Fatalf("self-refetch forwarded (%d -> %d)", fwdsBefore, got)
+	}
+	line, _ := b.sys.L1s[0].Cache().Peek(addr)
+	if line == nil || line.State != l1E {
+		t.Fatal("refetch should grant E again")
+	}
+	checkCoherenceInvariants(t, b.sys)
+}
+
+func TestDirtyEvictionWritesBackOnce(t *testing.T) {
+	b := newTB(t, 2, 2, core.Options{})
+	addr := b.remoteAddr(3, 0)
+	b.access(0, addr, true) // dirty
+	b.evictLine(0, addr)
+	b.drain()
+	if got := b.sys.Msgs.Count(MsgWBData); got != 1 {
+		t.Fatalf("WBData count %d, want 1", got)
+	}
+	l2line, _ := b.sys.L2s[3].Cache().Peek(addr)
+	if l2line.State != l2Dirty || l2line.Owner != -1 {
+		t.Fatalf("bank state after wb: %+v", l2line)
+	}
+	// The data survives: re-read hits the bank (no memory fetch).
+	fetches := b.sys.Msgs.Count(MsgMemFetch)
+	b.access(1, addr, false)
+	b.drain()
+	if got := b.sys.Msgs.Count(MsgMemFetch); got != fetches {
+		t.Fatal("re-read went to memory despite the write-back")
+	}
+}
+
+func TestForwardRaceServedFromWBBuffer(t *testing.T) {
+	// Tile 3 holds X dirty and evicts it (WBData in flight on a long
+	// path) while nearby tile 1 requests it: the forward must be served
+	// from tile 3's write-back buffer and the stale WBData dropped.
+	b := newTB(t, 4, 4, core.Options{})
+	addr := b.remoteAddr(0, 0) // home bank at tile 0, far from tile 15
+	b.access(15, addr, true)   // tile 15 owns dirty (longest path)
+	b.drain()
+
+	// Fill the rest of X's set and touch those lines so X is the PLRU
+	// victim, then kick off the eviction and the competing request in
+	// the same cycle.
+	l1 := b.sys.L1s[15].Cache().Config()
+	stride := cache.Addr(l1.Sets() * l1.LineBytes)
+	for i := 1; i < l1.Ways; i++ {
+		b.sys.Prefill(addr+cache.Addr(i)*stride, 15, true)
+	}
+	for i := 1; i < l1.Ways; i++ {
+		if lat := b.access(15, addr+cache.Addr(i)*stride, false); lat != 0 {
+			t.Fatal("prefilled line missed")
+		}
+	}
+	b.done[15] = false
+	b.sys.L1s[15].Access(addr+cache.Addr(l1.Ways)*stride, false, b.kernel.Now())
+	// Wait for the eviction's WBData to be in flight (wb buffer armed),
+	// then fire the competing request: its forward reaches tile 15 while
+	// X only exists in the write-back buffer.
+	if _, ok := b.kernel.RunUntil(func() bool {
+		_, pending := b.sys.L1s[15].wb[addr]
+		return pending
+	}, 100000); !ok {
+		t.Fatal("write-back never left")
+	}
+	b.done[1] = false
+	b.sys.L1s[1].Access(addr, false, b.kernel.Now())
+	if _, ok := b.kernel.RunUntil(func() bool { return b.done[1] && b.done[15] }, 100000); !ok {
+		t.Fatal("accesses did not complete")
+	}
+	b.drain()
+	line, ok := b.sys.L1s[1].Cache().Peek(addr)
+	if !ok || line.State == 0 {
+		t.Fatal("requestor did not get the line")
+	}
+	if b.sys.Msgs.Count(MsgWBData) == 0 {
+		t.Fatal("eviction should have written back")
+	}
+	checkCoherenceInvariants(t, b.sys)
+}
+
+func TestUpgradeRaceInvalidatedWhileWaiting(t *testing.T) {
+	// Two sharers upgrade the same line concurrently: the loser's S copy
+	// is invalidated while its GetX waits, and it still ends with M.
+	b := newTB(t, 2, 2, core.Options{})
+	addr := b.remoteAddr(3, 0)
+	b.access(0, addr, false)
+	b.access(1, addr, false) // both shared
+	now := b.kernel.Now()
+	b.done[0], b.done[1] = false, false
+	b.sys.L1s[0].Access(addr, true, now)
+	b.sys.L1s[1].Access(addr, true, now)
+	if _, ok := b.kernel.RunUntil(func() bool { return b.done[0] && b.done[1] }, 100000); !ok {
+		t.Fatal("concurrent upgrades did not complete")
+	}
+	b.drain()
+	// Exactly one tile ends with the line in M; the directory agrees.
+	l2line, _ := b.sys.L2s[3].Cache().Peek(addr)
+	owner := int(l2line.Owner)
+	if owner != 0 && owner != 1 {
+		t.Fatalf("directory owner %d after racing upgrades", owner)
+	}
+	line, ok := b.sys.L1s[owner].Cache().Peek(addr)
+	if !ok || line.State != l1M {
+		t.Fatal("winner does not hold M")
+	}
+	if _, ok := b.sys.L1s[1-owner].Cache().Peek(addr); ok {
+		t.Fatal("loser still holds a copy")
+	}
+	checkCoherenceInvariants(t, b.sys)
+}
+
+func TestBlockedLineQueuesFIFO(t *testing.T) {
+	// Several requestors pile onto one line: the L2 serializes them and
+	// everyone completes (the line-blocking behaviour NoAck shortens).
+	b := newTB(t, 4, 4, core.Options{})
+	addr := b.remoteAddr(5, 0)
+	now := b.kernel.Now()
+	for id := 0; id < 8; id++ {
+		if id == 5 {
+			continue
+		}
+		b.done[id] = false
+		b.sys.L1s[id].Access(addr, id%2 == 0, now)
+	}
+	done := func() bool {
+		for id := 0; id < 8; id++ {
+			if id != 5 && !b.done[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if _, ok := b.kernel.RunUntil(done, 200000); !ok {
+		t.Fatal("pile-up did not drain")
+	}
+	b.drain()
+	checkCoherenceInvariants(t, b.sys)
+	if b.sys.L2s[5].BlockedCycles == 0 {
+		t.Fatal("line blocking never observed")
+	}
+}

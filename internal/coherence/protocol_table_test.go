@@ -1,0 +1,113 @@
+package coherence
+
+import (
+	"testing"
+
+	"reactivenoc/internal/cache"
+	"reactivenoc/internal/core"
+)
+
+// TestL1StateTransitions drives every (initial state, operation) pair on a
+// single line and checks the resulting L1 state and the network messages
+// the transition produced — a conformance table for the Table-3 protocol.
+func TestL1StateTransitions(t *testing.T) {
+	type deltas map[MsgType]int64
+	cases := []struct {
+		name  string
+		setup func(b *tb, addr cache.Addr) // establish the initial state on tile 0
+		op    func(b *tb, addr cache.Addr) // the transition under test
+		state uint8                        // expected final state at tile 0 (0 = absent)
+		msgs  deltas                       // expected network message deltas
+	}{
+		{
+			name:  "I->E on load",
+			setup: func(b *tb, a cache.Addr) {},
+			op:    func(b *tb, a cache.Addr) { b.access(0, a, false) },
+			state: l1E,
+			msgs:  deltas{MsgGetS: 1, MsgL2Reply: 1, MsgDataAck: 1},
+		},
+		{
+			name:  "I->M on store",
+			setup: func(b *tb, a cache.Addr) {},
+			op:    func(b *tb, a cache.Addr) { b.access(0, a, true) },
+			state: l1M,
+			msgs:  deltas{MsgGetX: 1, MsgL2Reply: 1, MsgDataAck: 1},
+		},
+		{
+			name:  "E->M silent upgrade",
+			setup: func(b *tb, a cache.Addr) { b.access(0, a, false) },
+			op:    func(b *tb, a cache.Addr) { b.access(0, a, true) },
+			state: l1M,
+			msgs:  deltas{},
+		},
+		{
+			name: "S->M upgrade invalidates the other sharer",
+			setup: func(b *tb, a cache.Addr) {
+				b.access(0, a, false)
+				b.access(1, a, false) // both shared
+			},
+			op:    func(b *tb, a cache.Addr) { b.access(0, a, true) },
+			state: l1M,
+			msgs:  deltas{MsgGetX: 1, MsgInv: 1, MsgInvAck: 1, MsgL2Reply: 1, MsgDataAck: 1},
+		},
+		{
+			name:  "M->S on a remote load (forwarded, downgrade)",
+			setup: func(b *tb, a cache.Addr) { b.access(0, a, true) },
+			op:    func(b *tb, a cache.Addr) { b.access(1, a, false) },
+			state: l1S,
+			msgs:  deltas{MsgGetS: 1, MsgFwd: 1, MsgL1ToL1: 1, MsgDataAck: 1},
+		},
+		{
+			name:  "M->I on a remote store (forwarded, migrate)",
+			setup: func(b *tb, a cache.Addr) { b.access(0, a, true) },
+			op:    func(b *tb, a cache.Addr) { b.access(1, a, true) },
+			state: 0,
+			msgs:  deltas{MsgGetX: 1, MsgFwd: 1, MsgL1ToL1: 1, MsgDataAck: 1},
+		},
+		{
+			name:  "S->I on a remote store",
+			setup: func(b *tb, a cache.Addr) { b.access(0, a, false); b.access(1, a, false) },
+			op:    func(b *tb, a cache.Addr) { b.access(2, a, true) },
+			state: 0,
+			msgs:  deltas{MsgGetX: 1, MsgInv: 2, MsgInvAck: 2, MsgL2Reply: 1, MsgDataAck: 1},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			b := newTB(t, 2, 2, core.Options{})
+			addr := b.remoteAddr(3, 1)
+			tc.setup(b, addr)
+			b.drain()
+			before := b.sys.Msgs
+			tc.op(b, addr)
+			b.drain()
+			line, ok := b.sys.L1s[0].Cache().Peek(addr)
+			switch {
+			case tc.state == 0 && ok:
+				t.Fatalf("tile 0 should no longer hold %#x (state %d)", addr, line.State)
+			case tc.state != 0 && (!ok || line.State != tc.state):
+				t.Fatalf("tile 0 state = %v (present %v), want %d", line, ok, tc.state)
+			}
+			for mt, want := range tc.msgs {
+				got := b.sys.Msgs.Network[mt] - before.Network[mt]
+				if got != want {
+					t.Errorf("%v delta = %d, want %d", mt, got, want)
+				}
+			}
+			// No unexpected extra message classes for the transition.
+			for mt := MsgGetS; mt < numMsgTypes; mt++ {
+				if _, expected := tc.msgs[mt]; expected {
+					continue
+				}
+				if mt == MsgMemFetch || mt == MsgMemData || mt == MsgMemWB || mt == MsgMemAck {
+					continue // cold-path memory traffic depends on setup
+				}
+				if got := b.sys.Msgs.Network[mt] - before.Network[mt]; got != 0 {
+					t.Errorf("unexpected %v traffic: %d", mt, got)
+				}
+			}
+			checkCoherenceInvariants(t, b.sys)
+		})
+	}
+}

@@ -1,0 +1,121 @@
+// Package config names the system presets of the evaluation: the two chip
+// sizes of Table 2 and every Reactive Circuits variant that appears in the
+// paper's figures.
+package config
+
+import (
+	"fmt"
+
+	"reactivenoc/internal/core"
+)
+
+// Chip is a chip-size preset.
+type Chip struct {
+	Name          string
+	Width, Height int
+	MCs           int
+}
+
+// Chip16 is the 16-core chip (4x4 mesh, 4 memory controllers).
+func Chip16() Chip { return Chip{Name: "16-core", Width: 4, Height: 4, MCs: 4} }
+
+// Chip64 is the 64-core chip (8x8 mesh, 4 memory controllers).
+func Chip64() Chip { return Chip{Name: "64-core", Width: 8, Height: 8, MCs: 4} }
+
+// Nodes returns the tile count.
+func (c Chip) Nodes() int { return c.Width * c.Height }
+
+// Variant is one named mechanism configuration from the evaluation.
+type Variant struct {
+	Name string
+	Opts core.Options
+}
+
+func completeBase() core.Options {
+	return core.Options{Mechanism: core.MechComplete, MaxCircuitsPerPort: 5}
+}
+
+// Variants returns every configuration evaluated in the paper, in the
+// order of Figure 6's bars.
+func Variants() []Variant {
+	mk := func(name string, mod func(*core.Options)) Variant {
+		o := completeBase()
+		mod(&o)
+		if err := o.Validate(); err != nil {
+			panic(fmt.Sprintf("config: variant %s invalid: %v", name, err))
+		}
+		return Variant{Name: name, Opts: o}
+	}
+	return []Variant{
+		{Name: "Baseline", Opts: core.Options{}},
+		{Name: "Fragmented", Opts: core.Options{Mechanism: core.MechFragmented, MaxCircuitsPerPort: 2}},
+		mk("Complete", func(o *core.Options) {}),
+		mk("Complete_NoAck", func(o *core.Options) { o.NoAck = true }),
+		mk("Reuse_NoAck", func(o *core.Options) { o.NoAck = true; o.Reuse = true }),
+		mk("Timed_NoAck", func(o *core.Options) { o.NoAck = true; o.Timed = true }),
+		mk("Slack_1_NoAck", func(o *core.Options) { o.NoAck = true; o.Timed = true; o.SlackPerHop = 1 }),
+		mk("Slack_2_NoAck", func(o *core.Options) { o.NoAck = true; o.Timed = true; o.SlackPerHop = 2 }),
+		mk("Slack_4_NoAck", func(o *core.Options) { o.NoAck = true; o.Timed = true; o.SlackPerHop = 4 }),
+		mk("SlackDelay_1_NoAck", func(o *core.Options) {
+			o.NoAck = true
+			o.Timed = true
+			o.SlackPerHop = 1
+			o.DelayPerHop = 1
+		}),
+		mk("Postponed_1_NoAck", func(o *core.Options) { o.NoAck = true; o.Timed = true; o.PostponePerHop = 1 }),
+		{Name: "Ideal", Opts: core.Options{Mechanism: core.MechIdeal}},
+	}
+}
+
+// ByName returns the named variant.
+func ByName(name string) (Variant, bool) {
+	for _, v := range Variants() {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Variant{}, false
+}
+
+// Names lists every variant name.
+func Names() []string {
+	vs := Variants()
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// Comparators returns the related-work alternatives the paper positions
+// Reactive Circuits against: the baseline, a speculative single-cycle
+// router (references [16-19]) and probe-based setup at reply time
+// (Déjà-Vu switching, reference [7]).
+func Comparators() []Variant {
+	return []Variant{
+		{Name: "Baseline", Opts: core.Options{}},
+		{Name: "Speculative", Opts: core.Options{SpeculativeRouter: true}},
+		{Name: "Probe_DejaVu", Opts: core.Options{Mechanism: core.MechProbe, MaxCircuitsPerPort: 5}},
+		func() Variant { v, _ := ByName("Complete_NoAck"); return v }(),
+		func() Variant { v, _ := ByName("SlackDelay_1_NoAck"); return v }(),
+	}
+}
+
+// KeyVariants returns the "most relevant versions" the paper uses in
+// Figures 7-9: baseline, fragmented, the complete family, timed variants
+// and the ideal bound.
+func KeyVariants() []Variant {
+	keys := []string{
+		"Baseline", "Fragmented", "Complete", "Complete_NoAck", "Reuse_NoAck",
+		"Timed_NoAck", "SlackDelay_1_NoAck", "Postponed_1_NoAck", "Ideal",
+	}
+	out := make([]Variant, 0, len(keys))
+	for _, k := range keys {
+		v, ok := ByName(k)
+		if !ok {
+			panic("config: missing key variant " + k)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,916 @@
+package core
+
+import (
+	"fmt"
+
+	"reactivenoc/internal/mesh"
+	"reactivenoc/internal/noc"
+	"reactivenoc/internal/sim"
+	"reactivenoc/internal/trace"
+)
+
+// Timing constants of the paper's Section 4.7 estimate: "the number of hops
+// between the current router and the destination, the hop latency for the
+// request (five cycles/hop) and for the reply (two cycles/hop), and the
+// cache hit latency".
+const (
+	reqHopLatency = 5
+	repHopLatency = 2
+	// estimateOverhead covers the fixed per-transaction cycles outside
+	// the hop terms: the remaining pipeline stages of the reserving
+	// router plus ejection (5), destination scheduling (1) and the
+	// reply's NI injection turnaround (1). Verified by the timed-circuit
+	// calibration test: an undisturbed request yields a reservation the
+	// reply meets with zero waiting and zero slack.
+	estimateOverhead = 7
+	// injectLead is the NI-to-router link latency: a reply injected at
+	// cycle t reaches the first router's circuit check at t+injectLead.
+	injectLead = 2
+)
+
+// circKey names a circuit: the destination (original requestor) plus the
+// cache-line address, exactly the identifying pair stored in the routers.
+type circKey struct {
+	dest  mesh.NodeID
+	block uint64
+}
+
+// record is the circuit information kept "in the network interface where
+// the circuit starts" (the request's destination, where the reply will be
+// injected).
+type record struct {
+	key      circKey
+	complete bool // fully built end to end
+	failed   bool // could not be (completely) built
+	reserved int  // routers reserved (fragmented partial paths)
+	path     int  // routers on the full path
+	injectVC int  // VC at the first router's local input (0 = allocator's choice)
+	timed    bool
+	injStart sim.Cycle // earliest reply injection cycle
+	injEnd   sim.Cycle // latest reply injection cycle
+	inUse    bool      // a scrounger is currently riding the circuit
+	src      mesh.NodeID
+	// pendingUndo defers teardown until a riding scrounger finishes: the
+	// coherence protocol decided to undo the circuit mid-ride.
+	pendingUndo bool
+	// probeUp marks that the comparator's setup flit has been injected
+	// and injStart holds the reply's no-overtake launch cycle.
+	probeUp bool
+}
+
+// walk is the reservation state a request carries along its path.
+type walk struct {
+	routers      int
+	prevVC       int // VC reserved at the previous router (fragmented)
+	lastReserved bool
+	// injLo/injHi is the running intersection of per-router injection
+	// constraints for timed circuits; an empty intersection means the
+	// request's own delays made the schedule infeasible.
+	injLo, injHi sim.Cycle
+	// sched is the fixed injection cycle of a postponed reservation,
+	// pinned at the first router.
+	sched    sim.Cycle
+	hasSched bool
+}
+
+// Manager implements the Reactive Circuits mechanism: it owns every
+// router's circuit table, every NI's circuit registry, and the statistics
+// of Section 5.2. It plugs into the network as both the router-side
+// CircuitHandler and the NI-side NIHook.
+type Manager struct {
+	opts Options
+	m    mesh.Mesh
+	net  *noc.Network
+
+	tables []*table
+	regs   []map[circKey]*record
+	walks  map[*noc.Message]*walk
+	rides  map[*noc.Message]*record
+
+	// Stats aggregates the circuit-construction outcomes (Figure 6,
+	// Table 5) for the run.
+	Stats Stats
+
+	tracer *trace.Buffer
+}
+
+// SetTracer attaches a lifecycle tracer for circuit events (nil detaches).
+func (mg *Manager) SetTracer(t *trace.Buffer) { mg.tracer = t }
+
+var (
+	_ noc.CircuitHandler = (*Manager)(nil)
+	_ noc.NIHook         = (*Manager)(nil)
+)
+
+// NewManager builds the mechanism state for a chip of the given mesh. Call
+// Bind after constructing the network.
+func NewManager(opts Options, m mesh.Mesh) *Manager {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	mg := &Manager{
+		opts:   opts,
+		m:      m,
+		tables: make([]*table, m.Nodes()),
+		regs:   make([]map[circKey]*record, m.Nodes()),
+		walks:  map[*noc.Message]*walk{},
+		rides:  map[*noc.Message]*record{},
+	}
+	for i := range mg.tables {
+		mg.tables[i] = &table{}
+		mg.regs[i] = map[circKey]*record{}
+	}
+	return mg
+}
+
+// NetConfigFor returns the network microarchitecture each mechanism needs:
+// the baseline Table 4 router, the fragmented variant's third buffered
+// reply VC, or the complete variants' unbuffered circuit VC. All circuit
+// variants route requests XY and replies YX so both traverse the same
+// routers.
+func NetConfigFor(m mesh.Mesh, opts Options) noc.NetConfig {
+	cfg := noc.BaselineConfig(m)
+	switch opts.Mechanism {
+	case MechNone:
+		cfg.Speculative = opts.SpeculativeRouter
+		return cfg
+	case MechFragmented:
+		cfg.VCsPerVN[noc.VNReply] = 3
+		cfg.ReplyCircuitVCs = 2
+	case MechComplete:
+		cfg.ReplyCircuitVCs = 1
+		cfg.CircuitVCUnbuffered = true
+	case MechIdeal:
+		cfg.ReplyCircuitVCs = 1 // keeps its buffer: ideal is not area-reduced
+	case MechProbe:
+		// Probe setup keeps a buffered circuit VC and baseline routing
+		// (probe and reply travel the same direction); replies waiting
+		// for their setup must not serialize the interface.
+		cfg.ReplyCircuitVCs = 1
+		cfg.AllowQueueOvertake = true
+		return cfg
+	}
+	cfg.RepRouting = mesh.RouteYX
+	return cfg
+}
+
+// Bind attaches the manager to its network (needed for undo walks and
+// scrounger re-injection).
+func (mg *Manager) Bind(net *noc.Network) { mg.net = net }
+
+// Options returns the variant this manager implements.
+func (mg *Manager) Options() Options { return mg.opts }
+
+// circuitVC returns the reply VC index circuits travel on in the complete
+// and ideal mechanisms.
+func (mg *Manager) circuitVC() int {
+	return mg.net.Config().CircuitVC()
+}
+
+// pathHops returns the total hop count of the request (and reply) path.
+func (mg *Manager) pathHops(msg *noc.Message) int {
+	return mg.m.Hops(msg.Src, msg.Dst)
+}
+
+// ---------------------------------------------------------------------------
+// Router-side hooks (noc.CircuitHandler)
+// ---------------------------------------------------------------------------
+
+// OnRequestVA reserves the reply's circuit at this router, in parallel with
+// the request's VC allocation. The reply will enter via port out (where the
+// request leaves) and exit via port in (where the request entered).
+func (mg *Manager) OnRequestVA(id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, now sim.Cycle) {
+	w := mg.walks[msg]
+	if w == nil {
+		w = &walk{prevVC: -1, injLo: -1 << 60, injHi: 1 << 60}
+		mg.walks[msg] = w
+	}
+	w.routers++
+	switch mg.opts.Mechanism {
+	case MechIdeal:
+		mg.reserveIdeal(id, msg, in, out, w, now)
+	case MechComplete:
+		mg.reserveComplete(id, msg, in, out, w, now)
+	case MechFragmented:
+		mg.reserveFragmented(id, msg, in, out, w, now)
+	case MechProbe:
+		if msg.SetupProbe {
+			mg.reserveProbe(id, msg, in, out, now)
+		}
+	}
+}
+
+// reserveProbe installs a *forward* circuit entry as a setup flit crosses
+// the router: the data reply behind it enters and leaves through the
+// probe's own ports. On a conflict or full storage the setup fails and the
+// already-built prefix is torn down with a backward credit walk.
+func (mg *Manager) reserveProbe(id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, now sim.Cycle) {
+	if msg.BuildFailed {
+		return
+	}
+	tb := mg.tables[id]
+	fail := func(counter *int64) {
+		msg.BuildFailed = true
+		*counter++
+		if in != mesh.Local {
+			tok := &noc.UndoToken{Dest: msg.Dst, Block: msg.Block}
+			mg.net.Router(id).SendUndoCredit(in, tok, now)
+		}
+	}
+	if tb.conflict(in, out, 0, noWindow, now) {
+		fail(&mg.Stats.ReserveFailedConflict)
+		return
+	}
+	e := &entry{
+		built: true, dest: msg.Dst, block: msg.Block,
+		out: out, outVC: mg.circuitVC(), vc: mg.circuitVC(),
+		winStart: 0, winEnd: noWindow,
+	}
+	ins, ord := tb.insert(in, e, mg.opts.MaxCircuitsPerPort, now)
+	if ins == nil {
+		fail(&mg.Stats.ReserveFailedStorage)
+		return
+	}
+	mg.noteOrdinal(ord)
+	mg.net.Events().CircuitWrites++
+}
+
+func (mg *Manager) reserveIdeal(id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, w *walk, now sim.Cycle) {
+	e := &entry{
+		built: true, dest: msg.Src, block: msg.Block,
+		out: in, outVC: mg.circuitVC(), vc: mg.circuitVC(),
+		winStart: 0, winEnd: noWindow,
+	}
+	_, ord := mg.tables[id].insert(out, e, 0, now)
+	mg.noteOrdinal(ord)
+	mg.net.Events().CircuitWrites++
+	w.lastReserved = true
+}
+
+func (mg *Manager) reserveComplete(id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, w *walk, now sim.Cycle) {
+	if msg.BuildFailed {
+		return // a failed all-or-nothing circuit reserves nothing further
+	}
+	tb := mg.tables[id]
+	cvc := mg.circuitVC()
+
+	winStart, winEnd := sim.Cycle(0), noWindow
+	injLo, injHi := w.injLo, w.injHi
+	if mg.opts.Timed {
+		var ok bool
+		winStart, winEnd, injLo, injHi, ok = mg.timedWindow(id, msg, out, in, w, now)
+		if !ok {
+			mg.failCircuit(id, msg, in, now, &mg.Stats.ReserveFailedConflict)
+			return
+		}
+	} else if tb.conflict(out, in, winStart, winEnd, now) {
+		mg.failCircuit(id, msg, in, now, &mg.Stats.ReserveFailedConflict)
+		return
+	}
+
+	outVC := cvc
+	e := &entry{
+		built: true, dest: msg.Src, block: msg.Block,
+		out: in, outVC: outVC, vc: cvc,
+		winStart: winStart, winEnd: winEnd,
+	}
+	ins, ord := tb.insert(out, e, mg.opts.MaxCircuitsPerPort, now)
+	if ins == nil {
+		mg.failCircuit(id, msg, in, now, &mg.Stats.ReserveFailedStorage)
+		return
+	}
+	mg.noteOrdinal(ord)
+	mg.net.Events().CircuitWrites++
+	w.injLo, w.injHi = injLo, injHi
+	w.lastReserved = true
+	if mg.tracer != nil {
+		note := fmt.Sprintf("in=%v out=%v", out, in)
+		if mg.opts.Timed {
+			note += fmt.Sprintf(" window=[%d,%d]", winStart, winEnd)
+		}
+		mg.tracer.Record(now, trace.Reserve, msg.ID, id, note)
+	}
+}
+
+// timedWindow computes this router's reservation window, applying the
+// variant's slack, delay search and postponement, and intersecting the
+// injection constraints accumulated along the path. inUnit is the input
+// unit holding the new entry (the request's output port) and outPort the
+// entry's output port (the request's input port).
+func (mg *Manager) timedWindow(id mesh.NodeID, msg *noc.Message, inUnit, outPort mesh.Dir, w *walk, now sim.Cycle) (s, e, lo, hi sim.Cycle, ok bool) {
+	h := sim.Cycle(mg.m.Hops(id, msg.Dst))
+	size := sim.Cycle(msg.ExpectedReplySize)
+	if size <= 0 {
+		size = 1
+	}
+	H := sim.Cycle(mg.pathHops(msg))
+	slackTot := sim.Cycle(mg.opts.SlackPerHop) * H
+	delayTot := sim.Cycle(mg.opts.DelayPerHop) * H
+	if delayTot > slackTot {
+		delayTot = slackTot // delays must stay inside downstream slack
+	}
+	postTot := sim.Cycle(mg.opts.PostponePerHop) * H
+
+	var base sim.Cycle
+	if mg.opts.PostponePerHop > 0 {
+		// Postponed circuits pin the reply's injection cycle at the
+		// first router; every later router reserves the exact slot that
+		// schedule implies, immune to request jitter.
+		if !w.hasSched {
+			head := now + (reqHopLatency+repHopLatency)*h + msg.ExpectedProcDelay +
+				estimateOverhead + sim.Cycle(msg.Size-1)
+			w.sched = head - repHopLatency*h - injectLead + postTot
+			w.hasSched = true
+		}
+		base = w.sched + injectLead + repHopLatency*h
+	} else {
+		base = now + (reqHopLatency+repHopLatency)*h + msg.ExpectedProcDelay +
+			estimateOverhead + sim.Cycle(msg.Size-1) + msg.AccumDelay
+	}
+
+	tb := mg.tables[id]
+	maxDelta := delayTot - msg.AccumDelay
+	if maxDelta < 0 {
+		maxDelta = 0
+	}
+	for delta := sim.Cycle(0); delta <= maxDelta; delta++ {
+		start := base + delta
+		end := start + size - 1 + slackTot
+		// Injection constraint from this router: the reply injected at
+		// cycle t sees this router at t + injectLead + repHopLatency*h,
+		// which must fall in [start, start+slackTot].
+		cLo := start - repHopLatency*h - injectLead
+		cHi := cLo + slackTot
+		nLo, nHi := maxCycle(w.injLo, cLo), minCycle(w.injHi, cHi)
+		if nLo <= nHi && !tb.conflict(inUnit, outPort, start, end, now) {
+			msg.AccumDelay += delta
+			return start, end, nLo, nHi, true
+		}
+		if mg.opts.DelayPerHop == 0 {
+			break // no delay search in the basic/slack-only variants
+		}
+	}
+	return 0, 0, 0, 0, false
+}
+
+func (mg *Manager) reserveFragmented(id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, w *walk, now sim.Cycle) {
+	tb := mg.tables[id]
+	cfg := mg.net.Config()
+	vc := tb.freeVC(out, cfg.CircuitVC(), cfg.ReplyCircuitVCs, now)
+	if vc < 0 {
+		// No reserved VC available: keep the partial path and retry at
+		// the next hop (Section 4.2, fragmented alternative).
+		mg.Stats.ReserveFailedStorage++
+		w.prevVC = -1
+		w.lastReserved = false
+		return
+	}
+	e := &entry{
+		built: true, dest: msg.Src, block: msg.Block,
+		out: in, outVC: w.prevVC, vc: vc,
+		winStart: 0, winEnd: noWindow,
+	}
+	ins, ord := tb.insert(out, e, mg.opts.MaxCircuitsPerPort, now)
+	if ins == nil {
+		mg.Stats.ReserveFailedStorage++
+		w.prevVC = -1
+		w.lastReserved = false
+		return
+	}
+	mg.noteOrdinal(ord)
+	mg.net.Events().CircuitWrites++
+	msg.ReservedHops++
+	w.prevVC = vc
+	w.lastReserved = true
+}
+
+// failCircuit marks an all-or-nothing reservation failed and tears down the
+// prefix reserved so far. Non-timed prefixes are undone with credits
+// walking toward the circuit destination; timed prefixes self-expire when
+// their finish counters run out.
+func (mg *Manager) failCircuit(id mesh.NodeID, msg *noc.Message, in mesh.Dir, now sim.Cycle, counter *int64) {
+	msg.BuildFailed = true
+	*counter++
+	if mg.opts.Timed || in == mesh.Local {
+		return
+	}
+	tok := &noc.UndoToken{Dest: msg.Src, Block: msg.Block}
+	mg.net.Router(id).SendUndoCredit(in, tok, now)
+}
+
+func (mg *Manager) noteOrdinal(ord int) {
+	if ord < 1 {
+		return
+	}
+	if ord > len(mg.Stats.Ordinals) {
+		ord = len(mg.Stats.Ordinals)
+	}
+	mg.Stats.Ordinals[ord-1]++
+}
+
+// Bypass implements the input-unit circuit check of Figure 3.
+func (mg *Manager) Bypass(id mesh.NodeID, f *noc.Flit, in mesh.Dir, now sim.Cycle) (mesh.Dir, int, bool) {
+	msg := f.Msg
+	if !msg.UseCircuit {
+		return 0, 0, false
+	}
+	e := mg.tables[id].find(in, msg.CircDest, msg.CircBlock, now)
+	if e == nil {
+		if mg.opts.Mechanism == MechFragmented {
+			return 0, 0, false // gap in a fragmented circuit: normal pipeline
+		}
+		panic(fmt.Sprintf("core: reply msg %d expected a circuit at router %d port %v (invariant violated)", msg.ID, id, in))
+	}
+	if f.Head {
+		if e.inUse != nil && e.inUse != msg {
+			panic(fmt.Sprintf("core: circuit (%d,%#x) at router %d double-claimed", e.dest, e.block, id))
+		}
+		e.inUse = msg
+	} else if e.inUse != msg {
+		panic(fmt.Sprintf("core: body flit of msg %d on unclaimed circuit at router %d", msg.ID, id))
+	}
+	if mg.opts.Mechanism == MechFragmented && e.outVC < 0 && e.out != mesh.Local {
+		// The next hop is not reserved: the flits re-enter the normal
+		// pipeline from this reserved VC's buffer; the entry frees when
+		// the tail has arrived.
+		if f.Tail {
+			e.built = false
+			e.inUse = nil
+			mg.net.Events().CircuitWrites++
+		}
+		return 0, 0, false
+	}
+	outVC := e.outVC
+	if outVC < 0 {
+		outVC = 0
+	}
+	return e.out, outVC, true
+}
+
+// Release frees a circuit when a tail flit leaves a router on it; a
+// scrounger only releases its claim so the owner can still ride.
+func (mg *Manager) Release(id mesh.NodeID, f *noc.Flit, in mesh.Dir, now sim.Cycle) {
+	e := mg.tables[id].find(in, f.Msg.CircDest, f.Msg.CircBlock, now)
+	if e == nil || e.inUse != f.Msg {
+		return
+	}
+	e.inUse = nil
+	if !f.Msg.Scrounging {
+		e.built = false
+		mg.net.Events().CircuitWrites++
+	}
+}
+
+// OnUndo clears the reservation named by the token at this router and
+// steers the walk onward: toward the circuit destination for the paper's
+// reversed entries, or backward toward the setup source for the probe
+// comparator's forward entries.
+func (mg *Manager) OnUndo(id mesh.NodeID, tok *noc.UndoToken, in mesh.Dir, now sim.Cycle) (mesh.Dir, bool) {
+	if mg.opts.Mechanism == MechProbe {
+		for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+			if e := mg.tables[id].clear(d, tok.Dest, tok.Block, now); e != nil {
+				mg.net.Events().CircuitWrites++
+				return d, true // continue out of the entry's input side
+			}
+		}
+		return 0, false
+	}
+	if mg.opts.Mechanism == MechFragmented {
+		// Gap-tolerant walk: clear what exists and keep following the
+		// reply's deterministic YX path toward the destination.
+		if mg.tables[id].clear(in, tok.Dest, tok.Block, now) != nil {
+			mg.net.Events().CircuitWrites++
+		}
+		return mg.m.NextDir(mesh.RouteYX, id, tok.Dest), true
+	}
+	e := mg.tables[id].clear(in, tok.Dest, tok.Block, now)
+	if e == nil {
+		return 0, false
+	}
+	mg.net.Events().CircuitWrites++
+	return e.out, true
+}
+
+// BypassBuffered reports whether circuit flits may wait in buffers:
+// fragmented and ideal routers keep them; complete routers must never block
+// a circuit flit.
+func (mg *Manager) BypassBuffered() bool {
+	switch mg.opts.Mechanism {
+	case MechFragmented, MechIdeal, MechProbe:
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// NI-side hooks (noc.NIHook)
+// ---------------------------------------------------------------------------
+
+// OnInject classifies and steers a message about to leave its source NI.
+// For requests it is a no-op. For replies it decides: ride the circuit the
+// request built, wait for (or miss) a timed slot, scrounge a foreign
+// circuit, or travel as a normal packet.
+func (mg *Manager) OnInject(ni mesh.NodeID, msg *noc.Message, now sim.Cycle) sim.Cycle {
+	if msg.VN != noc.VNReply || msg.Scrounging {
+		return now
+	}
+	if mg.opts.Mechanism == MechProbe {
+		return mg.injectProbeMode(ni, msg, now)
+	}
+	key := circKey{dest: msg.Dst, block: msg.Block}
+	rec := mg.regs[ni][key]
+	if rec != nil {
+		return mg.injectOwn(ni, msg, rec, key, now)
+	}
+	if msg.Classified {
+		return now // a continuation leg already classified
+	}
+	// No circuit of its own: try borrowing one (scrounger messages).
+	if mg.opts.Reuse {
+		if r := mg.scroungeTarget(ni, msg); r != nil {
+			r.inUse = true
+			mg.rides[msg] = r
+			msg.Scrounging = true
+			msg.FinalDst = msg.Dst
+			msg.Dst = r.key.dest
+			msg.UseCircuit = true
+			msg.InjectVC = r.injectVC
+			msg.CircDest = r.key.dest
+			msg.CircBlock = r.key.block
+			mg.classify(msg, OutcomeScrounger)
+			mg.Stats.ScroungerRides++
+			if mg.tracer != nil {
+				mg.tracer.Record(now, trace.Scrounge, msg.ID, ni,
+					fmt.Sprintf("rides (%d,%#x) toward %d", r.key.dest, r.key.block, msg.FinalDst))
+			}
+			return now
+		}
+	}
+	if msg.OutcomeHint != 0 {
+		mg.classify(msg, Outcome(msg.OutcomeHint))
+	} else {
+		mg.classify(msg, OutcomeNotEligible)
+	}
+	return now
+}
+
+// injectProbeMode implements the probe-setup comparator's injection side:
+// an eligible reply launches a 1-flit setup flit and may only leave once
+// the setup has finished building the whole circuit (the classic
+// setup-delay schemes of the paper's references [12, 14]; completion is
+// learned instantly here, which is *optimistic* for the comparator). A
+// failed setup sends the reply through the normal pipeline. With a 7-cycle
+// L2 hit the setup traversal is never hidden — the paper's argument for
+// reserving with the request instead.
+func (mg *Manager) injectProbeMode(ni mesh.NodeID, msg *noc.Message, now sim.Cycle) sim.Cycle {
+	key := circKey{dest: msg.Dst, block: msg.Block}
+	rec := mg.regs[ni][key]
+	if msg.SetupProbe {
+		return now // probes leave immediately
+	}
+	if !msg.WantCircuit {
+		if !msg.Classified {
+			mg.classify(msg, OutcomeNotEligible)
+		}
+		return now
+	}
+	if rec == nil {
+		probe := &noc.Message{
+			ID:  mg.net.NextMsgID(),
+			Src: ni, Dst: msg.Dst,
+			VN: noc.VNReply, Size: 1,
+			Block:       msg.Block,
+			WantCircuit: true,
+			SetupProbe:  true,
+		}
+		mg.net.NI(ni).SendFront(probe, now)
+		mg.Stats.ProbesSent++
+		mg.regs[ni][key] = &record{key: key, src: ni}
+		return now + 1
+	}
+	if !rec.probeUp {
+		return now + 1 // the setup is still traversing
+	}
+	delete(mg.regs[ni], key)
+	msg.WantCircuit = false
+	if rec.failed {
+		mg.classify(msg, OutcomeFailed)
+		return now
+	}
+	msg.UseCircuit = true
+	msg.CircDest = msg.Dst
+	msg.CircBlock = msg.Block
+	mg.Stats.CircuitsBuilt++
+	mg.classify(msg, OutcomeCircuit)
+	return now
+}
+
+// injectOwn handles a reply whose request reserved a circuit.
+func (mg *Manager) injectOwn(ni mesh.NodeID, msg *noc.Message, rec *record, key circKey, now sim.Cycle) sim.Cycle {
+	if rec.failed && mg.opts.Mechanism != MechFragmented {
+		delete(mg.regs[ni], key)
+		mg.classify(msg, OutcomeFailed)
+		return now
+	}
+	if rec.inUse {
+		return now + 1 // a scrounger is riding; wait for it to clear
+	}
+	if rec.timed {
+		if now > rec.injEnd {
+			// Missed the slot (cache delays, blocked lines): undo the
+			// circuit and use the normal pipeline (Section 4.7).
+			delete(mg.regs[ni], key)
+			mg.Stats.CircuitsUndone++
+			mg.classify(msg, OutcomeUndone)
+			if mg.tracer != nil {
+				mg.tracer.Record(now, trace.CircuitUndone, msg.ID, ni,
+					fmt.Sprintf("missed window [%d,%d]", rec.injStart, rec.injEnd))
+			}
+			return now
+		}
+		if now < rec.injStart {
+			mg.Stats.WaitedForWindow++
+			return rec.injStart
+		}
+	}
+	delete(mg.regs[ni], key)
+	if mg.opts.Mechanism == MechFragmented {
+		if rec.reserved == 0 {
+			mg.classify(msg, OutcomeFailed)
+			return now
+		}
+		msg.UseCircuit = true
+		msg.InjectVC = rec.injectVC
+		msg.CircDest = msg.Dst
+		msg.CircBlock = msg.Block
+		if rec.complete {
+			mg.classify(msg, OutcomeCircuit)
+		} else {
+			mg.classify(msg, OutcomeFailed) // partial path still rides its fragments
+		}
+		return now
+	}
+	msg.UseCircuit = true
+	msg.InjectVC = rec.injectVC
+	msg.CircDest = msg.Dst
+	msg.CircBlock = msg.Block
+	mg.classify(msg, OutcomeCircuit)
+	if mg.tracer != nil {
+		mg.tracer.Record(now, trace.CircuitRide, msg.ID, ni,
+			fmt.Sprintf("dest=%d block=%#x", msg.Dst, msg.Block))
+	}
+	return now
+}
+
+// scroungeTarget picks the idle complete circuit at this NI that brings the
+// reply closest to its destination, if any helps at all.
+func (mg *Manager) scroungeTarget(ni mesh.NodeID, msg *noc.Message) *record {
+	var best *record
+	bestGain := 0
+	from := mg.m.Hops(ni, msg.Dst)
+	for _, r := range mg.regs[ni] {
+		if !r.complete || r.failed || r.inUse || r.timed {
+			continue
+		}
+		gain := from - mg.m.Hops(r.key.dest, msg.Dst)
+		if gain > bestGain {
+			best, bestGain = r, gain
+		}
+	}
+	return best
+}
+
+func (mg *Manager) classify(msg *noc.Message, o Outcome) {
+	if msg.Classified {
+		return
+	}
+	msg.Classified = true
+	mg.Stats.Replies[o]++
+}
+
+// OnDeliver finalizes a request's circuit record at the NI where its reply
+// will start, and re-injects scrounger messages toward their destination.
+func (mg *Manager) OnDeliver(ni mesh.NodeID, msg *noc.Message, now sim.Cycle) bool {
+	if msg.SetupProbe {
+		delete(mg.walks, msg)
+		// Tell the waiting reply (at the probe's source) how the setup
+		// went — instantaneous here, an optimistic short-cut for the
+		// comparator (a real design needs a confirmation message back).
+		if rec := mg.regs[msg.Src][circKey{dest: msg.Dst, block: msg.Block}]; rec != nil {
+			rec.probeUp = true
+			rec.failed = msg.BuildFailed
+			rec.complete = !msg.BuildFailed
+		}
+		return false
+	}
+	if msg.VN == noc.VNRequest {
+		if msg.WantCircuit {
+			mg.recordCircuit(ni, msg)
+		}
+		return true
+	}
+	if msg.Scrounging {
+		rec := mg.rides[msg]
+		if rec == nil {
+			panic(fmt.Sprintf("core: scrounger msg %d has no ride record", msg.ID))
+		}
+		delete(mg.rides, msg)
+		rec.inUse = false
+		if rec.pendingUndo {
+			// The protocol undid the circuit mid-ride; tear it down now
+			// that the borrowed flits have cleared every router.
+			mg.teardown(rec, now)
+		}
+		// Preserve the latency already spent, then continue toward the
+		// real destination as a fresh injection.
+		msg.QueueCredit += msg.InjectedAt - msg.EnqueuedAt
+		msg.NetCredit += msg.DeliveredAt - msg.InjectedAt
+		msg.Src = ni
+		msg.Dst = msg.FinalDst
+		msg.Scrounging = false
+		msg.UseCircuit = false
+		msg.InjectVC = 0
+		msg.CircDest = 0
+		msg.CircBlock = 0
+		mg.net.NI(ni).Send(msg, now)
+		return false
+	}
+	return true
+}
+
+// recordCircuit stores the finished reservation walk in this NI's registry.
+func (mg *Manager) recordCircuit(ni mesh.NodeID, msg *noc.Message) {
+	w := mg.walks[msg]
+	delete(mg.walks, msg)
+	if w == nil {
+		w = &walk{prevVC: -1}
+	}
+	key := circKey{dest: msg.Src, block: msg.Block}
+	path := mg.pathHops(msg) + 1
+	rec := &record{key: key, path: path, src: ni}
+	switch mg.opts.Mechanism {
+	case MechIdeal, MechComplete:
+		rec.complete = !msg.BuildFailed
+		rec.failed = msg.BuildFailed
+		rec.injectVC = mg.circuitVC()
+		if rec.complete {
+			mg.Stats.CircuitsBuilt++
+		}
+		if mg.opts.Timed && rec.complete {
+			rec.timed = true
+			rec.injStart, rec.injEnd = w.injLo, w.injHi
+		}
+	case MechFragmented:
+		rec.reserved = msg.ReservedHops
+		rec.complete = msg.ReservedHops == path
+		rec.failed = !rec.complete
+		if rec.complete {
+			mg.Stats.CircuitsBuilt++
+		}
+		if w.lastReserved {
+			rec.injectVC = w.prevVC
+		}
+	}
+	mg.regs[ni][key] = rec
+	if mg.tracer != nil {
+		if rec.complete {
+			note := fmt.Sprintf("dest=%d block=%#x", key.dest, key.block)
+			if rec.timed {
+				note += fmt.Sprintf(" window=[%d,%d]", rec.injStart, rec.injEnd)
+			}
+			mg.tracer.Record(msg.DeliveredAt, trace.CircuitBuilt, msg.ID, ni, note)
+		} else {
+			mg.tracer.Record(msg.DeliveredAt, trace.CircuitFailed, msg.ID, ni,
+				fmt.Sprintf("dest=%d block=%#x reserved=%d/%d", key.dest, key.block, rec.reserved, rec.path))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Coherence-protocol entry points
+// ---------------------------------------------------------------------------
+
+// Undo tears down the circuit starting at NI ni for (dest, block) before
+// use — the coherence protocol calls this when an L2 forwards a request to
+// an owning L1 and the L2→requestor circuit will never carry data. It
+// reports whether a built circuit was actually undone.
+func (mg *Manager) Undo(ni mesh.NodeID, dest mesh.NodeID, block uint64, now sim.Cycle) bool {
+	key := circKey{dest: dest, block: block}
+	rec := mg.regs[ni][key]
+	if rec == nil {
+		return false
+	}
+	delete(mg.regs[ni], key)
+	if mg.opts.Mechanism == MechFragmented {
+		if rec.reserved == 0 {
+			return false
+		}
+	} else if rec.failed {
+		return false // a failed all-or-nothing build already tore down
+	}
+	mg.Stats.CircuitsUndone++
+	if mg.tracer != nil {
+		mg.tracer.Record(now, trace.CircuitUndone, 0, ni,
+			fmt.Sprintf("dest=%d block=%#x (forwarded request)", dest, block))
+	}
+	if rec.inUse {
+		rec.pendingUndo = true // a scrounger is riding; tear down after it
+		return true
+	}
+	mg.teardown(rec, now)
+	return true
+}
+
+// teardown clears a built circuit's router entries.
+func (mg *Manager) teardown(rec *record, now sim.Cycle) {
+	switch {
+	case mg.opts.Mechanism == MechIdeal:
+		// Upper-bound model: clear the whole path instantly.
+		mg.clearPath(rec.src, rec.key.dest, rec.key.block, now)
+	case mg.opts.Timed:
+		// Timed entries self-expire when their finish counters run out.
+	case mg.opts.Mechanism == MechFragmented:
+		// Fragmented circuits may have gaps: clear whatever is here and
+		// send the walk toward the destination regardless, so entries
+		// beyond a gap are still reclaimed.
+		if mg.tables[rec.src].clear(mesh.Local, rec.key.dest, rec.key.block, now) != nil {
+			mg.net.Events().CircuitWrites++
+		}
+		if fwd := mg.m.NextDir(mesh.RouteYX, rec.src, rec.key.dest); fwd != mesh.Local {
+			tok := &noc.UndoToken{Dest: rec.key.dest, Block: rec.key.block}
+			mg.net.Router(rec.src).SendUndoCredit(fwd, tok, now)
+		}
+	default:
+		if e := mg.tables[rec.src].clear(mesh.Local, rec.key.dest, rec.key.block, now); e != nil {
+			mg.net.Events().CircuitWrites++
+			if e.out != mesh.Local {
+				tok := &noc.UndoToken{Dest: rec.key.dest, Block: rec.key.block}
+				mg.net.Router(rec.src).SendUndoCredit(e.out, tok, now)
+			}
+		}
+	}
+}
+
+// clearPath removes every entry of a circuit along its YX path (ideal mode
+// only, where teardown cost is not modelled).
+func (mg *Manager) clearPath(from, dest mesh.NodeID, block uint64, now sim.Cycle) {
+	path := mg.m.Path(mesh.RouteYX, from, dest)
+	for i, node := range path {
+		in := mesh.Local
+		if i > 0 {
+			in = dirBetween(mg.m, node, path[i-1])
+		}
+		if mg.tables[node].clear(in, dest, block, now) != nil {
+			mg.net.Events().CircuitWrites++
+		}
+	}
+}
+
+// dirBetween returns the port of `from` that faces the adjacent node `to`.
+func dirBetween(m mesh.Mesh, from, to mesh.NodeID) mesh.Dir {
+	for d := mesh.North; d <= mesh.West; d++ {
+		if nb, ok := m.Neighbor(from, d); ok && nb == to {
+			return d
+		}
+	}
+	panic(fmt.Sprintf("core: nodes %d and %d are not adjacent", from, to))
+}
+
+// HasCircuit reports whether a (complete or partial) circuit for (dest,
+// block) is registered at NI ni — the coherence layer uses it to decide
+// whether a data reply will ride a complete circuit and its L1_DATA_ACK can
+// be eliminated.
+func (mg *Manager) HasCircuit(ni mesh.NodeID, dest mesh.NodeID, block uint64, now sim.Cycle) (complete, timedOK bool) {
+	rec := mg.regs[ni][circKey{dest: dest, block: block}]
+	if rec == nil || rec.failed || !rec.complete {
+		return false, false
+	}
+	if rec.timed && now > rec.injEnd {
+		return true, false
+	}
+	return true, true
+}
+
+// NoteEliminatedAck counts an L1_DATA_ACK removed by the NoAck
+// optimization at NI ni; the paper counts these replies at zero latency.
+func (mg *Manager) NoteEliminatedAck(ni mesh.NodeID, now sim.Cycle) {
+	mg.Stats.Replies[OutcomeEliminated]++
+	mg.Stats.EliminatedAcks++
+	if mg.tracer != nil {
+		mg.tracer.Record(now, trace.AckEliminated, 0, ni, "")
+	}
+}
+
+func maxCycle(a, b sim.Cycle) sim.Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minCycle(a, b sim.Cycle) sim.Cycle {
+	if a < b {
+		return a
+	}
+	return b
+}

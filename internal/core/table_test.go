@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"reactivenoc/internal/mesh"
+	"reactivenoc/internal/noc"
+)
+
+func mkEntry(dest mesh.NodeID, block uint64, out mesh.Dir, s, e int64) *entry {
+	win := noWindow
+	if e >= 0 {
+		win = e
+	}
+	return &entry{built: true, dest: dest, block: block, out: out, winStart: s, winEnd: win, outVC: 1, vc: 1}
+}
+
+func TestTableInsertAndFind(t *testing.T) {
+	tb := &table{}
+	e := mkEntry(3, 0x40, mesh.West, 0, -1)
+	ins, ord := tb.insert(mesh.East, e, 5, 0)
+	if ins == nil || ord != 1 {
+		t.Fatalf("insert failed: %v ord %d", ins, ord)
+	}
+	if tb.find(mesh.East, 3, 0x40, 10) != e {
+		t.Fatal("find missed the entry")
+	}
+	if tb.find(mesh.West, 3, 0x40, 10) != nil {
+		t.Fatal("find matched the wrong input port")
+	}
+	if tb.find(mesh.East, 3, 0x80, 10) != nil {
+		t.Fatal("find matched the wrong block")
+	}
+}
+
+func TestTableCapacity(t *testing.T) {
+	tb := &table{}
+	for i := 0; i < 5; i++ {
+		e, ord := tb.insert(mesh.East, mkEntry(mesh.NodeID(i), uint64(i*64), mesh.West, 0, -1), 5, 0)
+		if e == nil || ord != i+1 {
+			t.Fatalf("insert %d failed (ord %d)", i, ord)
+		}
+	}
+	if e, _ := tb.insert(mesh.East, mkEntry(9, 0x900, mesh.West, 0, -1), 5, 0); e != nil {
+		t.Fatal("sixth insert should fail at capacity 5")
+	}
+	// Another input port has independent storage.
+	if e, _ := tb.insert(mesh.West, mkEntry(9, 0x900, mesh.East, 0, -1), 5, 0); e == nil {
+		t.Fatal("other input port should accept")
+	}
+}
+
+func TestTableReclaimsFreedSlots(t *testing.T) {
+	tb := &table{}
+	e := mkEntry(1, 0x40, mesh.West, 0, -1)
+	tb.insert(mesh.East, e, 1, 0)
+	if got, _ := tb.insert(mesh.East, mkEntry(2, 0x80, mesh.West, 0, -1), 1, 0); got != nil {
+		t.Fatal("full table accepted an entry")
+	}
+	tb.clear(mesh.East, 1, 0x40, 0)
+	if got, ord := tb.insert(mesh.East, mkEntry(2, 0x80, mesh.West, 0, -1), 1, 0); got == nil || ord != 1 {
+		t.Fatal("cleared slot not reclaimed")
+	}
+}
+
+func TestTimedEntrySelfExpires(t *testing.T) {
+	tb := &table{}
+	e := mkEntry(1, 0x40, mesh.West, 10, 20)
+	tb.insert(mesh.East, e, 1, 0)
+	if tb.find(mesh.East, 1, 0x40, 15) == nil {
+		t.Fatal("entry should be live inside its window")
+	}
+	if tb.find(mesh.East, 1, 0x40, 21) != nil {
+		t.Fatal("entry should have self-expired after its window")
+	}
+	// Expired slots are reclaimable without an undo walk.
+	if got, _ := tb.insert(mesh.East, mkEntry(2, 0x80, mesh.West, 30, 40), 1, 25); got == nil {
+		t.Fatal("expired slot not reclaimed")
+	}
+}
+
+func TestExpiredEntryInUseStaysLive(t *testing.T) {
+	// A message mid-flight keeps its entry alive past the window end, so
+	// body flits never lose their circuit.
+	tb := &table{}
+	e := mkEntry(1, 0x40, mesh.West, 10, 20)
+	tb.insert(mesh.East, e, 1, 0)
+	e.inUse = &noc.Message{ID: 7}
+	if tb.find(mesh.East, 1, 0x40, 25) == nil {
+		t.Fatal("claimed entry must outlive its window while in use")
+	}
+	e.inUse = nil
+	if tb.find(mesh.East, 1, 0x40, 25) != nil {
+		t.Fatal("released entry past its window should expire")
+	}
+}
+
+func TestConflictRule(t *testing.T) {
+	tb := &table{}
+	tb.insert(mesh.East, mkEntry(1, 0x40, mesh.West, 0, -1), 5, 0)
+	// Different input, same output: conflict.
+	if !tb.conflict(mesh.South, mesh.West, 0, noWindow, 0) {
+		t.Fatal("expected a conflict")
+	}
+	// Same input, same output: allowed (same-source circuits serialize).
+	if tb.conflict(mesh.East, mesh.West, 0, noWindow, 0) {
+		t.Fatal("same-input circuits must not conflict")
+	}
+	// Different output: allowed.
+	if tb.conflict(mesh.South, mesh.North, 0, noWindow, 0) {
+		t.Fatal("different outputs must not conflict")
+	}
+}
+
+func TestConflictWindowDisjoint(t *testing.T) {
+	tb := &table{}
+	tb.insert(mesh.East, mkEntry(1, 0x40, mesh.West, 10, 20), 5, 0)
+	if tb.conflict(mesh.South, mesh.West, 21, 30, 0) {
+		t.Fatal("disjoint windows must not conflict")
+	}
+	if !tb.conflict(mesh.South, mesh.West, 15, 25, 0) {
+		t.Fatal("overlapping windows must conflict")
+	}
+	if !tb.conflict(mesh.South, mesh.West, 20, 20, 0) {
+		t.Fatal("touching boundary cycle overlaps")
+	}
+	// The expired entry no longer conflicts.
+	if tb.conflict(mesh.South, mesh.West, 15, 25, 50) {
+		t.Fatal("expired entries must not conflict")
+	}
+}
+
+func TestFreeVC(t *testing.T) {
+	tb := &table{}
+	if vc := tb.freeVC(mesh.East, 1, 2, 0); vc != 1 {
+		t.Fatalf("empty table freeVC = %d, want 1", vc)
+	}
+	e := mkEntry(1, 0x40, mesh.West, 0, -1)
+	e.vc = 1
+	tb.insert(mesh.East, e, 2, 0)
+	if vc := tb.freeVC(mesh.East, 1, 2, 0); vc != 2 {
+		t.Fatalf("freeVC = %d, want 2", vc)
+	}
+	e2 := mkEntry(2, 0x80, mesh.West, 0, -1)
+	e2.vc = 2
+	tb.insert(mesh.East, e2, 2, 0)
+	if vc := tb.freeVC(mesh.East, 1, 2, 0); vc != -1 {
+		t.Fatalf("freeVC = %d, want -1 (all reserved)", vc)
+	}
+	tb.clear(mesh.East, 1, 0x40, 0)
+	if vc := tb.freeVC(mesh.East, 1, 2, 0); vc != 1 {
+		t.Fatalf("freeVC after clear = %d, want 1", vc)
+	}
+}
+
+// Property: after any sequence of inserts and clears, activeCount equals
+// the number of built, unexpired entries, and never exceeds capacity.
+func TestTableActiveCountInvariant(t *testing.T) {
+	check := func(ops []uint8) bool {
+		tb := &table{}
+		const capacity = 5
+		now := int64(0)
+		live := map[uint64]bool{}
+		for _, op := range ops {
+			block := uint64(op%8) * 64
+			if op&0x80 == 0 {
+				if e, _ := tb.insert(mesh.East, mkEntry(1, block, mesh.West, 0, -1), capacity, now); e != nil {
+					live[block] = true
+				}
+			} else {
+				if tb.clear(mesh.East, 1, block, now) != nil {
+					delete(live, block)
+				}
+			}
+			if tb.activeCount(mesh.East, now) > capacity {
+				return false
+			}
+		}
+		// Count distinct live blocks (duplicate inserts create multiple
+		// entries for a block, and clear removes one at a time, so only
+		// bound-check here).
+		return tb.activeCount(mesh.East, now) <= capacity
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package cpu
+
+import (
+	"testing"
+
+	"reactivenoc/internal/cache"
+	"reactivenoc/internal/coherence"
+	"reactivenoc/internal/core"
+	"reactivenoc/internal/mesh"
+	"reactivenoc/internal/sim"
+)
+
+// scriptStream replays a fixed op list, then computes forever.
+type scriptStream struct {
+	ops []Op
+	i   int
+}
+
+func (s *scriptStream) Next() Op {
+	if s.i < len(s.ops) {
+		op := s.ops[s.i]
+		s.i++
+		return op
+	}
+	return Op{Kind: OpCompute}
+}
+
+func testSystem(t *testing.T) (*coherence.System, *sim.Kernel) {
+	t.Helper()
+	sys := coherence.NewSystem(mesh.New(2, 2), core.Options{}, 4)
+	k := sim.NewKernel()
+	k.Register(sys)
+	return sys, k
+}
+
+func TestComputeOpsRetireOnePerCycle(t *testing.T) {
+	sys, k := testSystem(t)
+	st := &scriptStream{}
+	c := New(0, sys.L1s[0], st, 10)
+	k.Register(tickOne{c})
+	k.Run(10)
+	if !c.Done() || c.Retired != 10 {
+		t.Fatalf("retired %d done=%v after 10 cycles", c.Retired, c.Done())
+	}
+	if c.FinishedAt != 9 {
+		t.Fatalf("finished at %d, want 9", c.FinishedAt)
+	}
+	if c.StallCycles != 0 {
+		t.Fatalf("pure compute stalled %d cycles", c.StallCycles)
+	}
+}
+
+type tickOne struct{ c *Core }
+
+func (tk tickOne) Tick(now sim.Cycle) { tk.c.Tick(now) }
+
+func TestMissStallsAndResumes(t *testing.T) {
+	sys, k := testSystem(t)
+	st := &scriptStream{ops: []Op{
+		{Kind: OpLoad, Addr: 3 * 64}, // remote bank: a real miss
+		{Kind: OpCompute},
+	}}
+	c := New(0, sys.L1s[0], st, 2)
+	k.Register(tickOne{c})
+	k.RunUntil(func() bool { return c.Done() }, 10000)
+	if !c.Done() {
+		t.Fatal("core never finished")
+	}
+	if c.Misses != 1 || c.Loads != 1 {
+		t.Fatalf("misses=%d loads=%d", c.Misses, c.Loads)
+	}
+	if c.StallCycles == 0 {
+		t.Fatal("a miss must stall the core")
+	}
+	// Second access to the same line hits.
+	st2 := &scriptStream{ops: []Op{{Kind: OpLoad, Addr: 3 * 64}}}
+	c2 := New(1, sys.L1s[1], st2, 1)
+	_ = c2
+}
+
+func TestHitDoesNotStall(t *testing.T) {
+	sys, k := testSystem(t)
+	// Pre-warm the line into L1 and L2.
+	sys.Prefill(cache.Addr(3*64), 0, true)
+	st := &scriptStream{ops: []Op{
+		{Kind: OpLoad, Addr: 3 * 64},
+		{Kind: OpStore, Addr: 3 * 64},
+	}}
+	c := New(0, sys.L1s[0], st, 2)
+	k.Register(tickOne{c})
+	k.Run(2)
+	if !c.Done() {
+		t.Fatalf("two hits should retire in two cycles (retired %d)", c.Retired)
+	}
+	if c.StallCycles != 0 || c.Misses != 0 {
+		t.Fatalf("hits stalled: stalls=%d misses=%d", c.StallCycles, c.Misses)
+	}
+	if c.Stores != 1 || c.Loads != 1 {
+		t.Fatalf("loads=%d stores=%d", c.Loads, c.Stores)
+	}
+}
+
+func TestResetStatsExtendsBudget(t *testing.T) {
+	sys, k := testSystem(t)
+	c := New(0, sys.L1s[0], &scriptStream{}, 5)
+	k.Register(tickOne{c})
+	k.Run(5)
+	if !c.Done() {
+		t.Fatal("should be done after 5")
+	}
+	c.ResetStats(3)
+	if c.Done() {
+		t.Fatal("reset should reopen the budget")
+	}
+	k.Run(3)
+	if !c.Done() || c.Retired != 8 {
+		t.Fatalf("retired %d, want 8", c.Retired)
+	}
+}
+
+func TestDoneCoreIgnoresTicks(t *testing.T) {
+	sys, k := testSystem(t)
+	c := New(0, sys.L1s[0], &scriptStream{}, 1)
+	k.Register(tickOne{c})
+	k.Run(10)
+	if c.Retired != 1 {
+		t.Fatalf("done core kept retiring: %d", c.Retired)
+	}
+}

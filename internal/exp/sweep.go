@@ -1,0 +1,174 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// from simulation sweeps: message mixes (Table 1), circuit-reservation
+// ordinals (Table 5), router area (Table 6), circuit-construction outcomes
+// (Figure 6), message-latency anatomy (Figure 7), network energy
+// (Figure 8) and system speedup (Figures 9 and 10).
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"reactivenoc/internal/chip"
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/workload"
+)
+
+// Scale selects the sweep effort.
+type Scale struct {
+	// MeasureOps per core for each run.
+	MeasureOps int64
+	// Apps caps the workload list (0 = all 21 parallel apps + mix).
+	Apps int
+	// Seed feeds the deterministic workload generators.
+	Seed uint64
+}
+
+// QuickScale keeps benches and smoke runs fast.
+func QuickScale() Scale { return Scale{MeasureOps: 4000, Apps: 6, Seed: 1} }
+
+// FullScale runs the whole workload suite.
+func FullScale() Scale { return Scale{MeasureOps: 12000, Apps: 0, Seed: 1} }
+
+// Workloads returns the evaluation's workload list under the scale cap:
+// the parallel applications plus the multiprogrammed mix.
+func (s Scale) Workloads() []workload.Profile {
+	apps := workload.Parallel()
+	if s.Apps > 0 && s.Apps-1 < len(apps) {
+		apps = apps[:s.Apps-1]
+	}
+	return append(apps, workload.Multiprogrammed())
+}
+
+// Sweep holds the results of (variant x workload) runs on one chip size.
+type Sweep struct {
+	Chip     config.Chip
+	Variants []config.Variant
+	Apps     []workload.Profile
+	Scale    Scale
+
+	// Res[variant][app] is that run's measurements.
+	Res map[string]map[string]*chip.Results
+}
+
+// RunSweep executes every (variant, workload) pair, in parallel across the
+// machine's cores; each run itself is deterministic.
+func RunSweep(c config.Chip, variants []config.Variant, scale Scale) *Sweep {
+	apps := scale.Workloads()
+	s := &Sweep{Chip: c, Variants: variants, Apps: apps, Scale: scale,
+		Res: map[string]map[string]*chip.Results{}}
+	for _, v := range variants {
+		s.Res[v.Name] = map[string]*chip.Results{}
+	}
+
+	type job struct {
+		v config.Variant
+		w workload.Profile
+	}
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				spec := chip.DefaultSpec(c, j.v, j.w)
+				spec.MeasureOps = scale.MeasureOps
+				spec.Seed = scale.Seed
+				r := chip.MustRun(spec)
+				mu.Lock()
+				s.Res[j.v.Name][j.w.Name] = r
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, v := range variants {
+		for _, w := range apps {
+			jobs <- job{v: v, w: w}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return s
+}
+
+// Baseline returns the baseline results per app, panicking if the sweep
+// lacks a baseline variant.
+func (s *Sweep) Baseline() map[string]*chip.Results {
+	b, ok := s.Res["Baseline"]
+	if !ok {
+		panic("exp: sweep has no Baseline variant")
+	}
+	return b
+}
+
+// AppNames returns the sweep's workload names in run order.
+func (s *Sweep) AppNames() []string {
+	out := make([]string, len(s.Apps))
+	for i, a := range s.Apps {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// table is a tiny fixed-width text-table builder shared by the reports.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func pct(v float64) string  { return fmt.Sprintf("%.1f%%", v*100) }
+func pct2(v float64) string { return fmt.Sprintf("%+.2f%%", v*100) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"reactivenoc/internal/chip"
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/stats"
+	"reactivenoc/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Tail latency: circuits don't just move the mean, they cut the tail.
+// ---------------------------------------------------------------------------
+
+// Tail reports data-reply network-latency percentiles per variant.
+type Tail struct {
+	Chip config.Chip
+	Rows []TailRow
+}
+
+// TailRow is one variant's distribution summary (cycles).
+type TailRow struct {
+	Variant       string
+	Mean          float64
+	P50, P95, P99 int64
+}
+
+// TailRun measures the key variants on one workload.
+func TailRun(c config.Chip, ops int64) *Tail {
+	t := &Tail{Chip: c}
+	w := workload.Micro()
+	for _, v := range config.KeyVariants() {
+		spec := chip.DefaultSpec(c, v, w)
+		spec.MeasureOps = ops
+		r := chip.MustRun(spec)
+		t.Rows = append(t.Rows, TailRow{
+			Variant: v.Name,
+			Mean:    r.Lat.CircuitReplies.Network.Mean(),
+			P50:     r.Lat.ReplyPercentile(0.50),
+			P95:     r.Lat.ReplyPercentile(0.95),
+			P99:     r.Lat.ReplyPercentile(0.99),
+		})
+	}
+	return t
+}
+
+// Format renders the percentile table.
+func (t *Tail) Format() string {
+	tb := &table{header: []string{"variant", "mean", "p50", "p95", "p99"}}
+	for _, r := range t.Rows {
+		tb.add(r.Variant, fmt.Sprintf("%.1f", r.Mean),
+			fmt.Sprintf("%d", r.P50), fmt.Sprintf("%d", r.P95), fmt.Sprintf("%d", r.P99))
+	}
+	return fmt.Sprintf("Data-reply network latency distribution (%s, cycles)\n%s", t.Chip.Name, tb.String())
+}
+
+// ---------------------------------------------------------------------------
+// Confidence intervals across seeds (the paper quotes 95% margins under 2%
+// at 64 cores and under 5% at 16 cores).
+// ---------------------------------------------------------------------------
+
+// CI reports speedup means with 95% confidence half-widths, measured
+// across (workload x seed) replicas.
+type CI struct {
+	Chip  config.Chip
+	Seeds int
+	Rows  []CIRow
+}
+
+// CIRow is one variant's aggregate.
+type CIRow struct {
+	Variant string
+	Mean    float64
+	CI95    float64 // half-width, absolute speedup units
+}
+
+// CIRun measures speedups across seeds for the given variants. Baselines
+// are shared per (workload, seed) replica, and the independent runs are
+// spread across the machine's cores.
+func CIRun(c config.Chip, variants []string, seeds int, ops int64) *CI {
+	ci := &CI{Chip: c, Seeds: seeds}
+	apps := []workload.Profile{workload.Micro(), workload.Multiprogrammed()}
+
+	type key struct {
+		app  string
+		seed uint64
+	}
+	run := func(v config.Variant, w workload.Profile, seed uint64) *chip.Results {
+		spec := chip.DefaultSpec(c, v, w)
+		spec.MeasureOps = ops
+		spec.Seed = seed
+		return chip.MustRun(spec)
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	go1 := func(fn func()) {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			fn()
+			<-sem
+		}()
+	}
+
+	baselines := map[key]*chip.Results{}
+	bv, _ := config.ByName("Baseline")
+	for _, w := range apps {
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			w, seed := w, seed
+			go1(func() {
+				r := run(bv, w, seed)
+				mu.Lock()
+				baselines[key{w.Name, seed}] = r
+				mu.Unlock()
+			})
+		}
+	}
+	wg.Wait()
+
+	samples := make([]stats.Sample, len(variants))
+	for i, name := range variants {
+		v, ok := config.ByName(name)
+		if !ok {
+			panic("exp: unknown variant " + name)
+		}
+		for _, w := range apps {
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				i, v, w, seed := i, v, w, seed
+				go1(func() {
+					r := run(v, w, seed)
+					mu.Lock()
+					samples[i].Add(r.Speedup(baselines[key{w.Name, seed}]))
+					mu.Unlock()
+				})
+			}
+		}
+	}
+	wg.Wait()
+
+	for i, name := range variants {
+		ci.Rows = append(ci.Rows, CIRow{Variant: name, Mean: samples[i].Mean(), CI95: samples[i].CI95()})
+	}
+	return ci
+}
+
+// Format renders the confidence table.
+func (ci *CI) Format() string {
+	tb := &table{header: []string{"variant", "speedup", "95% CI"}}
+	for _, r := range ci.Rows {
+		tb.add(r.Variant,
+			fmt.Sprintf("%+.2f%%", (r.Mean-1)*100),
+			fmt.Sprintf("±%.2f%%", r.CI95*100))
+	}
+	return fmt.Sprintf("Speedup confidence (%s, %d seeds x 2 workloads)\n%s", ci.Chip.Name, ci.Seeds, tb.String()) +
+		"paper: margins of error at 95% confidence below 2% (64 cores) and 5% (16 cores)\n"
+}

@@ -1,0 +1,129 @@
+package noc
+
+import (
+	"fmt"
+
+	"reactivenoc/internal/mesh"
+)
+
+// AuditQuiescent verifies the network's conservation invariants at a
+// quiescent point: every buffer empty, every credit returned, every output
+// VC released, no latched or speculative state left behind. A non-nil
+// error means simulator state was corrupted or leaked during the run.
+func (n *Network) AuditQuiescent() error {
+	if !n.Quiescent() {
+		return fmt.Errorf("noc: audit requires a quiescent network")
+	}
+	for _, r := range n.routers {
+		if err := r.audit(); err != nil {
+			return err
+		}
+	}
+	for _, ni := range n.nis {
+		for vn := 0; vn < NumVNs; vn++ {
+			for vc, cr := range ni.credits[vn] {
+				if n.cfg.VCBuffered(vn, vc) && cr != n.cfg.BufDepth {
+					return fmt.Errorf("noc: NI %d holds %d/%d credits for vn%d vc%d",
+						ni.id, cr, n.cfg.BufDepth, vn, vc)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DumpState renders every non-idle structure in the network — buffered
+// flits, latched bypasses, held output VCs, queued NI messages — for stall
+// diagnostics.
+func (n *Network) DumpState() string {
+	var b []byte
+	add := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	for _, r := range n.routers {
+		for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+			if p := r.in[d]; p != nil {
+				for _, e := range p.byQ {
+					add("router %d in %v: bypass flit msg=%d seq=%d out=%v\n",
+						r.id, d, e.f.Msg.ID, e.f.Seq, e.out)
+				}
+				for vn := range p.vcs {
+					for vci, vc := range p.vcs[vn] {
+						if len(vc.buf) > 0 {
+							f := vc.buf[0]
+							add("router %d in %v vn%d vc%d: %d flits, front msg=%d seq=%d state=%d route=%v\n",
+								r.id, d, vn, vci, len(vc.buf), f.Msg.ID, f.Seq, vc.state, vc.route)
+						}
+					}
+				}
+			}
+			if op := r.out[d]; op != nil {
+				for vn := range op.owner {
+					for vc, o := range op.owner[vn] {
+						if o.valid {
+							add("router %d out %v vn%d vc%d: owned by in=%v vc%d, credits=%d\n",
+								r.id, d, vn, vc, o.in, o.vc, op.credits[vn][vc])
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, ni := range n.nis {
+		if q := ni.QueueLen(); q > 0 {
+			add("NI %d: %d messages queued/draining\n", ni.id, q)
+		}
+	}
+	if len(b) == 0 {
+		return "network idle\n"
+	}
+	return string(b)
+}
+
+// audit checks one router's invariants.
+func (r *Router) audit() error {
+	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+		if p := r.in[d]; p != nil {
+			if len(p.byQ) != 0 {
+				return fmt.Errorf("noc: router %d port %v retains %d bypass flits", r.id, d, len(p.byQ))
+			}
+			if len(p.spec) != 0 {
+				return fmt.Errorf("noc: router %d port %v retains %d speculative routes", r.id, d, len(p.spec))
+			}
+			if p.occupancy != 0 {
+				return fmt.Errorf("noc: router %d port %v occupancy %d at quiescence", r.id, d, p.occupancy)
+			}
+			for vn := range p.vcs {
+				for vci, vc := range p.vcs[vn] {
+					if len(vc.buf) != 0 {
+						return fmt.Errorf("noc: router %d port %v vn%d vc%d retains %d flits",
+							r.id, d, vn, vci, len(vc.buf))
+					}
+					if vc.state != vcIdle {
+						return fmt.Errorf("noc: router %d port %v vn%d vc%d stuck in state %d",
+							r.id, d, vn, vci, vc.state)
+					}
+				}
+			}
+		}
+		if op := r.out[d]; op != nil {
+			for vn := range op.owner {
+				for vc, o := range op.owner[vn] {
+					if o.valid {
+						return fmt.Errorf("noc: router %d output %v vn%d vc%d still owned",
+							r.id, d, vn, vc)
+					}
+					if d != mesh.Local && r.cfg.VCBuffered(vn, vc) &&
+						op.credits[vn][vc] != r.cfg.BufDepth {
+						return fmt.Errorf("noc: router %d output %v vn%d vc%d holds %d/%d credits",
+							r.id, d, vn, vc, op.credits[vn][vc], r.cfg.BufDepth)
+					}
+				}
+			}
+		}
+		if g := r.grants[d]; g.valid {
+			return fmt.Errorf("noc: router %d retains a grant for output %v", r.id, d)
+		}
+	}
+	return nil
+}

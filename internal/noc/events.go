@@ -1,0 +1,53 @@
+package noc
+
+// PowerEvents tallies the microarchitectural events the DSENT-substitute
+// energy model charges for. One instance is shared by all routers and NIs
+// of a network; the simulator is single-goroutine so plain fields suffice.
+type PowerEvents struct {
+	BufWrites      int64 // flit written into an input VC buffer
+	BufReads       int64 // flit read out of an input VC buffer
+	XbarTraversals int64 // flit through the crossbar (incl. circuit bypass)
+	LinkFlits      int64 // flit on an inter-router link
+	VAActivity     int64 // VC-allocator grants
+	SAActivity     int64 // switch-allocator grants
+	CreditsSent    int64 // flow-control credits on the reverse wires
+	CircuitChecks  int64 // circuit-table lookups at input units
+	CircuitWrites  int64 // circuit-table entry installs/clears
+	Retries        int64 // SA grants cancelled by circuit priority
+}
+
+// Add folds o into e.
+func (e *PowerEvents) Add(o *PowerEvents) {
+	e.BufWrites += o.BufWrites
+	e.BufReads += o.BufReads
+	e.XbarTraversals += o.XbarTraversals
+	e.LinkFlits += o.LinkFlits
+	e.VAActivity += o.VAActivity
+	e.SAActivity += o.SAActivity
+	e.CreditsSent += o.CreditsSent
+	e.CircuitChecks += o.CircuitChecks
+	e.CircuitWrites += o.CircuitWrites
+	e.Retries += o.Retries
+}
+
+// roundRobin picks the first true index in req starting from *ptr,
+// wrapping around, and advances *ptr past the winner. It returns -1 when no
+// index is requested. This is the arbiter primitive behind the paper's
+// "round-robin 2-phase VC/switch allocators".
+func roundRobin(req []bool, ptr *int) int {
+	n := len(req)
+	if n == 0 {
+		return -1
+	}
+	if *ptr >= n {
+		*ptr = 0
+	}
+	for i := 0; i < n; i++ {
+		idx := (*ptr + i) % n
+		if req[idx] {
+			*ptr = (idx + 1) % n
+			return idx
+		}
+	}
+	return -1
+}

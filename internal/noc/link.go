@@ -1,0 +1,91 @@
+package noc
+
+import (
+	"fmt"
+
+	"reactivenoc/internal/sim"
+)
+
+// linkDelay is the number of cycles after the sending cycle at which a flit
+// becomes visible at the receiving router: one cycle on the wire (Table 4:
+// 1-cycle links) plus the receiving register. Together with the 4-stage
+// pipeline this yields the paper's 5 cycles/hop for buffered traffic and
+// 2 cycles/hop for circuit traffic (1 cycle in the router + the link).
+const linkDelay = 2
+
+// Link is a unidirectional flit pipeline between a router output port and
+// the neighbouring input port (or an NI). At most one flit enters per cycle.
+type Link struct {
+	q []linkSlot
+	// lastSend guards the one-flit-per-cycle physical constraint.
+	lastSend sim.Cycle
+	hasSent  bool
+}
+
+type linkSlot struct {
+	f       *Flit
+	readyAt sim.Cycle
+}
+
+// Send puts f on the wire during cycle now. It panics if the link is driven
+// twice in one cycle, which would indicate an allocator bug.
+func (l *Link) Send(f *Flit, now sim.Cycle) {
+	if l.hasSent && l.lastSend == now {
+		panic(fmt.Sprintf("noc: link driven twice in cycle %d", now))
+	}
+	l.hasSent = true
+	l.lastSend = now
+	l.q = append(l.q, linkSlot{f: f, readyAt: now + linkDelay})
+}
+
+// Recv returns the flit that completes traversal at cycle now, or nil.
+func (l *Link) Recv(now sim.Cycle) *Flit {
+	if len(l.q) == 0 || l.q[0].readyAt > now {
+		return nil
+	}
+	f := l.q[0].f
+	l.q = l.q[1:]
+	return f
+}
+
+// Busy reports whether any flit is still in flight.
+func (l *Link) Busy() bool { return len(l.q) > 0 }
+
+// CreditLink carries flow-control credits (and piggybacked circuit-undo
+// tokens) in the direction opposite to its paired flit link. Credits have
+// the same wire latency as flits.
+type CreditLink struct {
+	q []creditSlot
+}
+
+type creditSlot struct {
+	c       Credit
+	readyAt sim.Cycle
+}
+
+// Send puts credit c on the wire during cycle now. Multiple credits may
+// share a cycle: a buffer credit and a piggybacked undo, or undo tokens for
+// distinct circuits, travel on dedicated sideband wires.
+func (l *CreditLink) Send(c Credit, now sim.Cycle) {
+	l.q = append(l.q, creditSlot{c: c, readyAt: now + linkDelay})
+}
+
+// Recv returns all credits arriving at cycle now.
+func (l *CreditLink) Recv(now sim.Cycle) []Credit {
+	n := 0
+	for n < len(l.q) && l.q[n].readyAt <= now {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Credit, n)
+	for i := 0; i < n; i++ {
+		out[i] = l.q[i].c
+	}
+	l.q = l.q[n:]
+	return out
+}
+
+// Busy reports whether any credit is still in flight.
+func (l *CreditLink) Busy() bool { return len(l.q) > 0 }

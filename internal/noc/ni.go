@@ -1,0 +1,307 @@
+package noc
+
+import (
+	"fmt"
+
+	"reactivenoc/internal/mesh"
+	"reactivenoc/internal/sim"
+	"reactivenoc/internal/trace"
+)
+
+// Receiver consumes messages fully delivered at a network interface.
+type Receiver func(m *Message, now sim.Cycle)
+
+// NI is a tile's network interface: it serializes outgoing messages into
+// flits, arbitrates injection between the two virtual networks, tracks the
+// credits of its router's local input port, and reassembles arrivals.
+// Messages whose source and destination tile coincide never enter the
+// network and are delivered locally after one cycle.
+type NI struct {
+	id  mesh.NodeID
+	cfg *NetConfig
+	ev  *PowerEvents
+
+	toRouter   *Link
+	fromRouter *Link
+	creditIn   *CreditLink
+
+	queues  [NumVNs][]*Message
+	open    [NumVNs]*openMsg
+	credits [NumVNs][]int
+	vnPtr   int
+
+	local []localDelivery
+
+	hook   NIHook
+	recv   Receiver
+	tracer *trace.Buffer
+
+	// expectSeq validates wormhole integrity on ejection: flits of each
+	// message must arrive in sequence order with none missing.
+	expectSeq map[*Message]int
+}
+
+type openMsg struct {
+	msg   *Message
+	flits []*Flit
+	next  int
+	vc    int
+}
+
+type localDelivery struct {
+	msg *Message
+	at  sim.Cycle
+}
+
+func newNI(id mesh.NodeID, cfg *NetConfig, ev *PowerEvents, hook NIHook) *NI {
+	ni := &NI{id: id, cfg: cfg, ev: ev, hook: hook}
+	for vn := 0; vn < NumVNs; vn++ {
+		ni.credits[vn] = make([]int, cfg.VCsPerVN[vn])
+		for vc := range ni.credits[vn] {
+			if cfg.VCBuffered(vn, vc) {
+				ni.credits[vn][vc] = cfg.BufDepth
+			}
+		}
+	}
+	return ni
+}
+
+// ID returns the tile id this NI serves.
+func (ni *NI) ID() mesh.NodeID { return ni.id }
+
+// SetReceiver installs the delivery callback (the tile's controllers).
+func (ni *NI) SetReceiver(r Receiver) { ni.recv = r }
+
+// Send enqueues m for injection at cycle now.
+func (ni *NI) Send(m *Message, now sim.Cycle) {
+	if m.Size <= 0 {
+		panic(fmt.Sprintf("noc: message %d has size %d", m.ID, m.Size))
+	}
+	if m.VN < 0 || m.VN >= NumVNs {
+		panic(fmt.Sprintf("noc: message %d has VN %d", m.ID, m.VN))
+	}
+	m.EnqueuedAt = now
+	if ni.tracer != nil {
+		ni.tracer.Record(now, trace.Enqueue, m.ID, ni.id,
+			fmt.Sprintf("type=%d %d->%d size=%d", m.Type, m.Src, m.Dst, m.Size))
+	}
+	if m.Src == m.Dst {
+		// Local exchange between the L1 and the co-located L2 bank: it
+		// never traverses the network (Table 1 counts only network
+		// messages) but still costs a cycle through the tile wiring.
+		m.LocalHop = true
+		m.InjectedAt = now
+		ni.local = append(ni.local, localDelivery{msg: m, at: now + 1})
+		return
+	}
+	ni.queues[m.VN] = append(ni.queues[m.VN], m)
+}
+
+// SendFront enqueues m ahead of everything waiting in its virtual network —
+// used by setup probes that must precede the reply they announce.
+func (ni *NI) SendFront(m *Message, now sim.Cycle) {
+	if m.Src == m.Dst {
+		ni.Send(m, now)
+		return
+	}
+	m.EnqueuedAt = now
+	ni.queues[m.VN] = append([]*Message{m}, ni.queues[m.VN]...)
+}
+
+// ReplyIdle reports whether the reply virtual network has nothing queued or
+// draining at this NI — a reply enqueued now will start injecting within
+// two cycles. The coherence layer uses this to decide when eliminating an
+// acknowledgement is safe for timed circuits.
+func (ni *NI) ReplyIdle() bool {
+	return len(ni.queues[VNReply]) == 0 && ni.open[VNReply] == nil
+}
+
+// QueueLen returns the number of messages waiting or draining at this NI.
+func (ni *NI) QueueLen() int {
+	n := len(ni.local)
+	for vn := 0; vn < NumVNs; vn++ {
+		n += len(ni.queues[vn])
+		if ni.open[vn] != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Tick advances the NI one cycle: credits, ejection, local deliveries,
+// then at most one injected flit.
+func (ni *NI) Tick(now sim.Cycle) {
+	for _, c := range ni.creditIn.Recv(now) {
+		if c.Pure {
+			continue
+		}
+		ni.credits[c.VN][c.VC]++
+		if ni.credits[c.VN][c.VC] > ni.cfg.BufDepth {
+			panic(fmt.Sprintf("noc: NI %d credit overflow vn%d vc%d", ni.id, c.VN, c.VC))
+		}
+	}
+
+	if f := ni.fromRouter.Recv(now); f != nil {
+		ni.checkSequence(f)
+		if f.Tail {
+			ni.deliverTail(f, now)
+		}
+	}
+
+	for len(ni.local) > 0 && ni.local[0].at <= now {
+		m := ni.local[0].msg
+		ni.local = ni.local[1:]
+		m.DeliveredAt = now
+		if ni.recv != nil {
+			ni.recv(m, now)
+		}
+	}
+
+	ni.inject(now)
+}
+
+// checkSequence asserts wormhole integrity: the flits of every message
+// arrive in order with none missing — any routing or VC-discipline bug
+// surfaces here instead of as silent data corruption.
+func (ni *NI) checkSequence(f *Flit) {
+	if ni.expectSeq == nil {
+		ni.expectSeq = map[*Message]int{}
+	}
+	want := ni.expectSeq[f.Msg]
+	if f.Seq != want {
+		panic(fmt.Sprintf("noc: NI %d: msg %d flit %d arrived, expected %d (wormhole violated)",
+			ni.id, f.Msg.ID, f.Seq, want))
+	}
+	if f.Tail {
+		delete(ni.expectSeq, f.Msg)
+	} else {
+		ni.expectSeq[f.Msg] = want + 1
+	}
+}
+
+// deliverTail finalizes a fully arrived message.
+func (ni *NI) deliverTail(f *Flit, now sim.Cycle) {
+	m := f.Msg
+	m.DeliveredAt = now
+	if ni.tracer != nil {
+		ni.tracer.Record(now, trace.Deliver, m.ID, ni.id,
+			fmt.Sprintf("net=%d queue=%d", m.DeliveredAt-m.InjectedAt, m.InjectedAt-m.EnqueuedAt))
+	}
+	deliver := true
+	if ni.hook != nil {
+		deliver = ni.hook.OnDeliver(ni.id, m, now)
+	}
+	if deliver && ni.recv != nil {
+		ni.recv(m, now)
+	}
+}
+
+// inject sends at most one flit. A reply streaming onto a reactive circuit
+// has absolute priority and is never interleaved with other traffic: the
+// reserved time window covers exactly one flit per cycle, so the burst must
+// stay contiguous. Otherwise the virtual networks round-robin.
+func (ni *NI) inject(now sim.Cycle) {
+	for vn := 0; vn < NumVNs; vn++ {
+		if o := ni.open[vn]; o != nil && o.msg.UseCircuit {
+			ni.tryInjectVN(vn, now)
+			return
+		}
+	}
+	for i := 0; i < NumVNs; i++ {
+		vn := (ni.vnPtr + i) % NumVNs
+		if ni.tryInjectVN(vn, now) {
+			ni.vnPtr = (vn + 1) % NumVNs
+			return
+		}
+	}
+}
+
+func (ni *NI) tryInjectVN(vn int, now sim.Cycle) bool {
+	o := ni.open[vn]
+	if o == nil {
+		if len(ni.queues[vn]) == 0 {
+			return false
+		}
+		// The hook is consulted every cycle until injection starts; it
+		// commits its decision (circuit ride, scrounge, classification)
+		// only in the call whose returned cycle allows injection now.
+		// Normally only the queue head is considered (FIFO); with
+		// AllowQueueOvertake later messages may pass a held-back head.
+		scan := 1
+		if ni.cfg.AllowQueueOvertake {
+			scan = len(ni.queues[vn])
+			if scan > 8 {
+				scan = 8
+			}
+		}
+		pick := -1
+		for i := 0; i < scan; i++ {
+			m := ni.queues[vn][i]
+			if ni.hook != nil {
+				if notBefore := ni.hook.OnInject(ni.id, m, now); now < notBefore {
+					continue // still waiting (e.g. for its setup probe)
+				}
+			}
+			pick = i
+			break
+		}
+		if pick < 0 {
+			return false
+		}
+		m := ni.queues[vn][pick]
+		vc := ni.pickVC(vn, m)
+		if vc < 0 {
+			return false
+		}
+		ni.queues[vn] = append(ni.queues[vn][:pick], ni.queues[vn][pick+1:]...)
+		o = &openMsg{msg: m, flits: flitsOf(m), vc: vc}
+		ni.open[vn] = o
+	}
+	// Credit for the next flit (unbuffered circuit VCs need none).
+	if ni.cfg.VCBuffered(vn, o.vc) {
+		if ni.credits[vn][o.vc] <= 0 {
+			return false
+		}
+		ni.credits[vn][o.vc]--
+	}
+	f := o.flits[o.next]
+	f.VC = o.vc
+	if f.Head {
+		o.msg.InjectedAt = now
+		if ni.tracer != nil {
+			note := fmt.Sprintf("vc=%d", o.vc)
+			if o.msg.UseCircuit {
+				note += " on-circuit"
+			}
+			ni.tracer.Record(now, trace.Inject, o.msg.ID, ni.id, note)
+		}
+	}
+	ni.toRouter.Send(f, now)
+	ni.ev.LinkFlits++
+	o.next++
+	if o.next == len(o.flits) {
+		ni.open[vn] = nil
+	}
+	return true
+}
+
+// pickVC chooses the injection VC: a forced circuit VC, or the allocatable
+// VC with the most credits.
+func (ni *NI) pickVC(vn int, m *Message) int {
+	if m.InjectVC > 0 {
+		if m.InjectVC >= ni.cfg.VCsPerVN[vn] {
+			panic(fmt.Sprintf("noc: message %d forces invalid vc%d", m.ID, m.InjectVC))
+		}
+		if ni.cfg.VCBuffered(vn, m.InjectVC) && ni.credits[vn][m.InjectVC] <= 0 {
+			return -1
+		}
+		return m.InjectVC
+	}
+	best, bestCr := -1, 0
+	for vc := 0; vc < ni.cfg.AllocatableVCs(vn); vc++ {
+		if cr := ni.credits[vn][vc]; cr > bestCr {
+			best, bestCr = vc, cr
+		}
+	}
+	return best
+}

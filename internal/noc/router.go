@@ -1,0 +1,671 @@
+package noc
+
+import (
+	"fmt"
+
+	"reactivenoc/internal/mesh"
+	"reactivenoc/internal/sim"
+)
+
+// vcState is the input-VC state machine of a wormhole router: a VC is idle,
+// has a routed head flit waiting for VC allocation, or is actively streaming
+// a message through an allocated output VC.
+type vcState uint8
+
+const (
+	vcIdle vcState = iota
+	vcWaitVA
+	vcActive
+)
+
+// inVC is the per-virtual-channel state at an input unit: buffer, global
+// state (G), route (R) and output VC (O) — the fields of Figure 2.
+type inVC struct {
+	buf          []*Flit
+	state        vcState
+	route        mesh.Dir
+	outVC        int
+	vaEligibleAt sim.Cycle
+	saEligibleAt sim.Cycle
+}
+
+func (v *inVC) front() *Flit {
+	if len(v.buf) == 0 {
+		return nil
+	}
+	return v.buf[0]
+}
+
+// bypassEntry latches a flit crossing the router in a single cycle: on a
+// reactive circuit, or speculatively in the comparator router. It departs
+// in the arrival cycle unless the variant allows it to wait (fragmented and
+// ideal circuits keep buffers; speculative flits hold their allocated VC).
+type bypassEntry struct {
+	f     *Flit
+	vn    int
+	out   mesh.Dir
+	outVC int
+	arrVC int // VC the flit arrived on, for the credit return
+	spec  bool
+}
+
+// specRoute is the ephemeral per-message state of a speculative traversal:
+// the output the head grabbed, followed by its body flits.
+type specRoute struct {
+	out   mesh.Dir
+	outVC int
+}
+
+type inputPort struct {
+	dir    mesh.Dir
+	link   *Link       // flits from the upstream router or NI
+	credit *CreditLink // credits we send upstream
+	vcs    [NumVNs][]*inVC
+	byQ    []bypassEntry
+	spec   map[*Message]specRoute
+	// occupancy counts buffered flits across the port's VCs, letting the
+	// allocator stages skip idle ports.
+	occupancy int
+}
+
+// outOwner records which input VC holds an output VC (fields I of Figure 2).
+type outOwner struct {
+	valid bool
+	in    mesh.Dir
+	vn    int
+	vc    int
+}
+
+type outputPort struct {
+	dir     mesh.Dir
+	link    *Link       // flits to the downstream router or NI
+	credit  *CreditLink // credits arriving from downstream
+	owner   [NumVNs][]outOwner
+	credits [NumVNs][]int
+}
+
+// grant is one switch-allocator decision, executed by switch traversal in
+// the following cycle.
+type grant struct {
+	valid bool
+	in    mesh.Dir
+	vn    int
+	vc    int
+}
+
+// Router is the 4-stage wormhole router of Table 4/Figure 2, optionally
+// extended with the Reactive Circuits hooks of Figure 3.
+type Router struct {
+	id      mesh.NodeID
+	cfg     *NetConfig
+	handler CircuitHandler
+	ev      *PowerEvents
+
+	in  [mesh.NumDirs]*inputPort
+	out [mesh.NumDirs]*outputPort
+
+	// grants holds the switch allocations computed in the previous cycle.
+	grants [mesh.NumDirs]grant
+
+	// Round-robin arbiter pointers.
+	vaPtr    [mesh.NumDirs]int // per output port, over requesting input VCs
+	saInPtr  [mesh.NumDirs]int // per input port, over its VCs
+	saOutPtr [mesh.NumDirs]int // per output port, over input ports
+	byPtr    int               // over input ports, for bypass priority
+
+	// Allocation-free scratch state for the allocator stages.
+	vaReqs  [mesh.NumDirs][]vaReq
+	vaMask  []bool
+	saReq   []bool
+	saSlots []vcSlot // static enumeration of (vn, vc) pairs
+
+	// flitsOut counts flits sent per output port, for utilization maps.
+	flitsOut [mesh.NumDirs]int64
+}
+
+// FlitsOut returns the number of flits this router sent through output
+// port d over the run (Local = ejections to the NI).
+func (r *Router) FlitsOut(d mesh.Dir) int64 { return r.flitsOut[d] }
+
+// vaReq is one VC-allocation request in flight through the two phases.
+type vaReq struct {
+	in   mesh.Dir
+	vn   int
+	vc   int
+	cand int // requested output VC
+}
+
+type vcSlot struct{ vn, vc int }
+
+func newRouter(id mesh.NodeID, cfg *NetConfig, handler CircuitHandler, ev *PowerEvents) *Router {
+	r := &Router{id: id, cfg: cfg, handler: handler, ev: ev}
+	for vn := 0; vn < NumVNs; vn++ {
+		for vc := 0; vc < cfg.VCsPerVN[vn]; vc++ {
+			r.saSlots = append(r.saSlots, vcSlot{vn: vn, vc: vc})
+		}
+	}
+	r.saReq = make([]bool, len(r.saSlots))
+	return r
+}
+
+// ID returns the router's node id.
+func (r *Router) ID() mesh.NodeID { return r.id }
+
+// addInput wires an input port (nil links are mesh edges and stay absent).
+func (r *Router) addInput(d mesh.Dir, link *Link, credit *CreditLink) {
+	p := &inputPort{dir: d, link: link, credit: credit}
+	for vn := 0; vn < NumVNs; vn++ {
+		p.vcs[vn] = make([]*inVC, r.cfg.VCsPerVN[vn])
+		for vc := range p.vcs[vn] {
+			p.vcs[vn][vc] = &inVC{outVC: -1}
+		}
+	}
+	r.in[d] = p
+}
+
+func (r *Router) addOutput(d mesh.Dir, link *Link, credit *CreditLink) {
+	p := &outputPort{dir: d, link: link, credit: credit}
+	for vn := 0; vn < NumVNs; vn++ {
+		p.owner[vn] = make([]outOwner, r.cfg.VCsPerVN[vn])
+		p.credits[vn] = make([]int, r.cfg.VCsPerVN[vn])
+		for vc := range p.credits[vn] {
+			if r.cfg.VCBuffered(vn, vc) {
+				p.credits[vn][vc] = r.cfg.BufDepth
+			}
+		}
+	}
+	r.out[d] = p
+}
+
+// SendUndoCredit emits a circuit-undo token on the credit wire of input
+// port in, toward the circuit destination. The Reactive Circuits layer uses
+// it to start teardown walks ("we send the data of the circuit to be undone
+// towards the circuit destination using credits").
+func (r *Router) SendUndoCredit(in mesh.Dir, tok *UndoToken, now sim.Cycle) {
+	p := r.in[in]
+	if p == nil || p.credit == nil {
+		return // the walk ends at an NI boundary
+	}
+	p.credit.Send(Credit{Pure: true, UndoCircuit: tok}, now)
+	r.ev.CreditsSent++
+}
+
+// Tick advances the router one cycle. Stage order inside a cycle: credit
+// and flit reception, switch traversal (executing last cycle's grants, with
+// circuit flits taking priority), VC allocation, then switch allocation for
+// the next cycle.
+func (r *Router) Tick(now sim.Cycle) {
+	r.recvCredits(now)
+	r.recvFlits(now)
+	r.stage3ST(now)
+	r.stage2VA(now)
+	r.stage3SAAlloc(now)
+}
+
+// recvCredits drains arriving credits, returning buffer slots and
+// processing piggybacked circuit-undo tokens.
+func (r *Router) recvCredits(now sim.Cycle) {
+	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+		op := r.out[d]
+		if op == nil || op.credit == nil {
+			continue
+		}
+		for _, c := range op.credit.Recv(now) {
+			if c.UndoCircuit != nil && r.handler != nil {
+				if fwd, ok := r.handler.OnUndo(r.id, c.UndoCircuit, d, now); ok && fwd != mesh.Local {
+					r.SendUndoCredit(fwd, c.UndoCircuit, now)
+				}
+			}
+			if !c.Pure {
+				op.credits[c.VN][c.VC]++
+				if op.credits[c.VN][c.VC] > r.cfg.BufDepth {
+					panic(fmt.Sprintf("noc: router %d credit overflow on %v vn%d vc%d", r.id, d, c.VN, c.VC))
+				}
+			}
+		}
+	}
+}
+
+// recvFlits performs stage 1 (routing and input buffering) plus the
+// Figure-3 circuit check at the input units.
+func (r *Router) recvFlits(now sim.Cycle) {
+	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+		p := r.in[d]
+		if p == nil || p.link == nil {
+			continue
+		}
+		f := p.link.Recv(now)
+		if f == nil {
+			continue
+		}
+		f.arrivedAt = now
+		if r.handler != nil && f.Msg.VN == VNReply {
+			r.ev.CircuitChecks++
+			if out, outVC, ok := r.handler.Bypass(r.id, f, d, now); ok {
+				p.byQ = append(p.byQ, bypassEntry{f: f, vn: VNReply, out: out, outVC: outVC, arrVC: f.VC})
+				continue
+			}
+		}
+		if r.cfg.Speculative && r.trySpeculate(p, f, now) {
+			continue
+		}
+		vn := f.Msg.VN
+		if !r.cfg.VCBuffered(vn, f.VC) {
+			panic(fmt.Sprintf("noc: router %d: flit of msg %d arrived on unbuffered vc%d without a circuit", r.id, f.Msg.ID, f.VC))
+		}
+		vc := p.vcs[vn][f.VC]
+		if len(vc.buf) >= r.cfg.BufDepth {
+			panic(fmt.Sprintf("noc: router %d: buffer overflow at %v vn%d vc%d (credit protocol violated)", r.id, d, vn, f.VC))
+		}
+		vc.buf = append(vc.buf, f)
+		p.occupancy++
+		r.ev.BufWrites++
+		if f.Head && len(vc.buf) == 1 && vc.state == vcIdle {
+			r.startMessage(vc, f, 1, now)
+		}
+	}
+}
+
+// trySpeculate attempts the single-cycle comparator path: a head flit
+// whose input VC is idle grabs a free output VC and crosses the router
+// this cycle with lowest crossbar priority; its body flits follow through
+// the same ephemeral route. On any missing resource the flit takes the
+// normal pipeline.
+func (r *Router) trySpeculate(p *inputPort, f *Flit, now sim.Cycle) bool {
+	msg := f.Msg
+	if sr, ok := p.spec[msg]; ok { // body/tail of a speculating message
+		p.byQ = append(p.byQ, bypassEntry{f: f, vn: msg.VN, out: sr.out, outVC: sr.outVC, arrVC: f.VC, spec: true})
+		return true
+	}
+	if !f.Head {
+		return false
+	}
+	vc := p.vcs[msg.VN][f.VC]
+	if vc.state != vcIdle || len(vc.buf) > 0 {
+		return false // older flits queued: keep FIFO order
+	}
+	out := r.cfg.Mesh.NextDir(r.cfg.Routing(msg.VN), r.id, msg.Dst)
+	op := r.out[out]
+	if op == nil {
+		return false
+	}
+	cand := -1
+	for ov := 0; ov < r.cfg.AllocatableVCs(msg.VN); ov++ {
+		if op.owner[msg.VN][ov].valid {
+			continue
+		}
+		if out != mesh.Local && op.credits[msg.VN][ov] <= 0 {
+			continue
+		}
+		cand = ov
+		break
+	}
+	if cand < 0 {
+		return false
+	}
+	op.owner[msg.VN][cand] = outOwner{valid: true, in: p.dir, vn: msg.VN, vc: f.VC}
+	if p.spec == nil {
+		p.spec = map[*Message]specRoute{}
+	}
+	p.spec[msg] = specRoute{out: out, outVC: cand}
+	p.byQ = append(p.byQ, bypassEntry{f: f, vn: msg.VN, out: out, outVC: cand, arrVC: f.VC, spec: true})
+	if f.Tail {
+		// Single-flit message: nothing follows.
+	}
+	return true
+}
+
+// startMessage performs route computation for the head flit now at the
+// front of vc; VC allocation becomes eligible after rcDelay cycles.
+func (r *Router) startMessage(vc *inVC, head *Flit, rcDelay sim.Cycle, now sim.Cycle) {
+	vc.state = vcWaitVA
+	vc.vaEligibleAt = now + rcDelay
+	vc.route = r.cfg.Mesh.NextDir(r.cfg.Routing(head.Msg.VN), r.id, head.Msg.Dst)
+}
+
+// stage3ST executes switch traversal: circuit flits first (they have
+// crossbar priority), then the switch allocations granted last cycle.
+func (r *Router) stage3ST(now sim.Cycle) {
+	var usedIn, usedOut [mesh.NumDirs]bool
+	var outUser [mesh.NumDirs]*Flit
+
+	anyBypass := false
+	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+		if p := r.in[d]; p != nil && len(p.byQ) > 0 {
+			anyBypass = true
+			break
+		}
+	}
+	anyGrant := false
+	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+		if r.grants[d].valid {
+			anyGrant = true
+			break
+		}
+	}
+	if !anyBypass && !anyGrant {
+		return
+	}
+
+	// Circuit flits cross first (crossbar priority); in the speculative
+	// comparator the bypass queue instead holds speculating flits, which
+	// get the *lowest* priority and run after the grants.
+	if anyBypass && !r.cfg.Speculative {
+		r.runBypass(&usedIn, &usedOut, &outUser, now)
+	}
+
+	// Granted buffered flits. A grant whose crossbar input or output was
+	// claimed by a circuit this cycle is cancelled and retried.
+	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+		g := r.grants[d]
+		r.grants[d] = grant{}
+		if !g.valid {
+			continue
+		}
+		if usedIn[g.in] || usedOut[d] {
+			r.ev.Retries++
+			continue
+		}
+		p := r.in[g.in]
+		vc := p.vcs[g.vn][g.vc]
+		f := vc.front()
+		if vc.state != vcActive || f == nil {
+			continue // stale grant
+		}
+		op := r.out[d]
+		buffered := d != mesh.Local && r.cfg.VCBuffered(g.vn, vc.outVC)
+		if buffered && op.credits[g.vn][vc.outVC] <= 0 {
+			continue // credit consumed since allocation; retry
+		}
+		vc.buf = vc.buf[1:]
+		p.occupancy--
+		r.ev.BufReads++
+		f.VC = vc.outVC
+		op.link.Send(f, now)
+		r.flitsOut[d]++
+		r.ev.XbarTraversals++
+		if d != mesh.Local {
+			r.ev.LinkFlits++
+		}
+		if buffered {
+			op.credits[g.vn][vc.outVC]--
+		}
+		if p.credit != nil {
+			p.credit.Send(Credit{VN: g.vn, VC: g.vc}, now)
+			r.ev.CreditsSent++
+		}
+		usedIn[g.in] = true
+		usedOut[d] = true
+		if f.Tail {
+			op.owner[g.vn][vc.outVC] = outOwner{}
+			vc.state = vcIdle
+			vc.outVC = -1
+			if next := vc.front(); next != nil {
+				if !next.Head {
+					panic(fmt.Sprintf("noc: router %d: non-head flit of msg %d queued behind a tail", r.id, next.Msg.ID))
+				}
+				// The revealed head occupies the route-compute stage
+				// next cycle and may try allocation the cycle after.
+				r.startMessage(vc, next, 2, now)
+			}
+		}
+	}
+
+	if anyBypass && r.cfg.Speculative {
+		r.runBypass(&usedIn, &usedOut, &outUser, now)
+	}
+}
+
+// runBypass forwards the head of each input port's bypass queue through
+// the crossbar, arbitrated round-robin. Circuit flits must never stall in
+// the complete variants (invariant panic); fragmented, ideal and
+// speculative flits may wait.
+func (r *Router) runBypass(usedIn, usedOut *[mesh.NumDirs]bool, outUser *[mesh.NumDirs]*Flit, now sim.Cycle) {
+	for i := 0; i < int(mesh.NumDirs); i++ {
+		d := mesh.Dir((r.byPtr + i) % int(mesh.NumDirs))
+		p := r.in[d]
+		if p == nil || len(p.byQ) == 0 || usedIn[d] {
+			continue
+		}
+		e := p.byQ[0]
+		stall := usedOut[e.out]
+		op := r.out[e.out]
+		if op == nil {
+			panic(fmt.Sprintf("noc: router %d circuit points at missing port %v", r.id, e.out))
+		}
+		needCredit := e.out != mesh.Local && r.cfg.VCBuffered(e.vn, e.outVC)
+		if !stall && needCredit && op.credits[e.vn][e.outVC] <= 0 {
+			stall = true
+		}
+		if stall {
+			if !e.spec && (r.handler == nil || !r.handler.BypassBuffered()) {
+				var other *Message
+				if outUser[e.out] != nil {
+					other = outUser[e.out].Msg
+				}
+				panic(fmt.Sprintf("noc: router %d cycle %d: complete-circuit flit %d of msg %+v blocked at %v out %v (holder: %+v)",
+					r.id, now, e.f.Seq, *e.f.Msg, d, e.out, other))
+			}
+			continue
+		}
+		p.byQ = p.byQ[1:]
+		usedIn[d] = true
+		usedOut[e.out] = true
+		outUser[e.out] = e.f
+		e.f.VC = e.outVC
+		e.f.OnCircuit = !e.spec
+		op.link.Send(e.f, now)
+		r.flitsOut[e.out]++
+		r.ev.XbarTraversals++
+		if e.out != mesh.Local {
+			r.ev.LinkFlits++
+		}
+		if needCredit {
+			op.credits[e.vn][e.outVC]--
+		}
+		// The flit left the input stage: return the slot it occupied
+		// upstream (unless it rode the unbuffered circuit VC).
+		if p.credit != nil && r.cfg.VCBuffered(e.vn, e.arrVC) {
+			p.credit.Send(Credit{VN: e.vn, VC: e.arrVC}, now)
+			r.ev.CreditsSent++
+		}
+		if e.f.Tail {
+			if e.spec {
+				op.owner[e.vn][e.outVC] = outOwner{}
+				delete(p.spec, e.f.Msg)
+			} else if r.handler != nil {
+				r.handler.Release(r.id, e.f, d, now)
+			}
+		}
+	}
+	r.byPtr = (r.byPtr + 1) % int(mesh.NumDirs)
+}
+
+// stage2VA runs the two-phase round-robin VC allocator; circuit
+// reservation happens "in parallel with VC allocation" via OnRequestVA.
+func (r *Router) stage2VA(now sim.Cycle) {
+	reqs := &r.vaReqs
+	for d := range reqs {
+		reqs[d] = reqs[d][:0]
+	}
+	any := false
+
+	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+		p := r.in[d]
+		if p == nil || p.occupancy == 0 {
+			continue
+		}
+		for vn := 0; vn < NumVNs; vn++ {
+			for vci, vc := range p.vcs[vn] {
+				if vc.state != vcWaitVA || vc.vaEligibleAt > now {
+					continue
+				}
+				f := vc.front()
+				if f == nil || !f.Head {
+					continue
+				}
+				op := r.out[vc.route]
+				if op == nil {
+					panic(fmt.Sprintf("noc: router %d: route %v has no port", r.id, vc.route))
+				}
+				// Phase 1: pick the free allocatable output VC with
+				// the most credits.
+				cand, best := -1, -1
+				for ov := 0; ov < r.cfg.AllocatableVCs(vn); ov++ {
+					if op.owner[vn][ov].valid {
+						continue
+					}
+					cr := op.credits[vn][ov]
+					if vc.route == mesh.Local {
+						cr = r.cfg.BufDepth // ejection always sinks
+					}
+					if cr > best {
+						best, cand = cr, ov
+					}
+				}
+				if cand < 0 {
+					continue
+				}
+				reqs[vc.route] = append(reqs[vc.route], vaReq{in: d, vn: vn, vc: vci, cand: cand})
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+
+	// Phase 2: per output port, grant contenders round-robin; at most one
+	// grant per output VC per cycle.
+	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+		rs := reqs[d]
+		if len(rs) == 0 {
+			continue
+		}
+		op := r.out[d]
+		var taken [NumVNs][8]bool // output VCs granted this cycle
+		mask := r.vaMask[:0]
+		for range rs {
+			mask = append(mask, true)
+		}
+		r.vaMask = mask
+		for {
+			idx := roundRobin(mask, &r.vaPtr[d])
+			if idx < 0 {
+				break
+			}
+			mask[idx] = false
+			rq := rs[idx]
+			if taken[rq.vn][rq.cand] || op.owner[rq.vn][rq.cand].valid {
+				continue
+			}
+			taken[rq.vn][rq.cand] = true
+			vc := r.in[rq.in].vcs[rq.vn][rq.vc]
+			vc.state = vcActive
+			vc.outVC = rq.cand
+			vc.saEligibleAt = now + 1
+			op.owner[rq.vn][rq.cand] = outOwner{valid: true, in: rq.in, vn: rq.vn, vc: rq.vc}
+			r.ev.VAActivity++
+			f := vc.front()
+			// Circuit-reserving messages (requests in the paper's
+			// mechanism, setup probes in the Déjà-Vu comparator) build
+			// their reservation in parallel with VC allocation.
+			if r.handler != nil && f.Msg.WantCircuit {
+				r.handler.OnRequestVA(r.id, f.Msg, rq.in, d, now)
+			}
+		}
+	}
+}
+
+// stage3SAAlloc runs the two-phase switch allocator, producing the grants
+// that switch traversal executes next cycle.
+func (r *Router) stage3SAAlloc(now sim.Cycle) {
+	var phase1 [mesh.NumDirs]vcSlot
+	var has [mesh.NumDirs]bool
+	anyWinner := false
+
+	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+		p := r.in[d]
+		if p == nil || p.occupancy == 0 {
+			continue
+		}
+		req := r.saReq
+		for i, slot := range r.saSlots {
+			vc := p.vcs[slot.vn][slot.vc]
+			f := vc.front()
+			ok := vc.state == vcActive && f != nil &&
+				vc.saEligibleAt <= now && f.arrivedAt+1 <= now
+			if ok {
+				op := r.out[vc.route]
+				if vc.route != mesh.Local && r.cfg.VCBuffered(slot.vn, vc.outVC) &&
+					op.credits[slot.vn][vc.outVC] <= 0 {
+					ok = false
+				}
+			}
+			req[i] = ok
+		}
+		if idx := roundRobin(req, &r.saInPtr[d]); idx >= 0 {
+			phase1[d] = r.saSlots[idx]
+			has[d] = true
+			anyWinner = true
+		}
+	}
+	if !anyWinner {
+		return
+	}
+
+	var outReq [mesh.NumDirs][mesh.NumDirs]bool // [outPort][inPort]
+	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+		if !has[d] {
+			continue
+		}
+		w := phase1[d]
+		route := r.in[d].vcs[w.vn][w.vc].route
+		outReq[route][d] = true
+	}
+	for o := mesh.Dir(0); o < mesh.NumDirs; o++ {
+		any := false
+		for i := mesh.Dir(0); i < mesh.NumDirs; i++ {
+			if outReq[o][i] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		idx := roundRobin(outReq[o][:], &r.saOutPtr[o])
+		in := mesh.Dir(idx)
+		w := phase1[in]
+		r.grants[o] = grant{valid: true, in: in, vn: w.vn, vc: w.vc}
+		r.ev.SAActivity++
+	}
+}
+
+// busy reports whether any flit is buffered, latched, or mid-pipeline in
+// this router.
+func (r *Router) busy() bool {
+	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+		if p := r.in[d]; p != nil {
+			if len(p.byQ) > 0 {
+				return true
+			}
+			for vn := range p.vcs {
+				for _, vc := range p.vcs[vn] {
+					if len(vc.buf) > 0 {
+						return true
+					}
+				}
+			}
+		}
+		if op := r.out[d]; op != nil && op.link != nil && op.link.Busy() {
+			return true
+		}
+	}
+	for _, g := range r.grants {
+		if g.valid {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+package power
+
+import (
+	"testing"
+
+	"reactivenoc/internal/core"
+	"reactivenoc/internal/noc"
+)
+
+func opts(m core.Mechanism, maxPerPort int, timed bool, slack int) core.Options {
+	o := core.Options{Mechanism: m, MaxCircuitsPerPort: maxPerPort}
+	if timed {
+		o.Timed = true
+		o.SlackPerHop = slack
+	}
+	return o
+}
+
+func TestBaselineAreaDominatedByBuffers(t *testing.T) {
+	rc := ConfigFor(16, core.Options{})
+	buffers := float64(4*ports*bufDepth*flitBits) * sramBit
+	frac := buffers / rc.RouterArea()
+	if frac < 0.55 || frac > 0.75 {
+		t.Fatalf("buffer share of router area %.2f outside the DSENT-plausible band", frac)
+	}
+}
+
+func TestTable6AreaBands(t *testing.T) {
+	// The paper's Table 6: Fragmented -19.28%/-18.96%, Complete
+	// +6.21%/+5.77%, Complete Timed +3.38%/+1.09% (16/64 cores). The
+	// model must land in the same bands with the same ordering.
+	cases := []struct {
+		name   string
+		o      core.Options
+		nodes  int
+		lo, hi float64
+	}{
+		{"fragmented16", opts(core.MechFragmented, 2, false, 0), 16, -0.25, -0.14},
+		{"fragmented64", opts(core.MechFragmented, 2, false, 0), 64, -0.25, -0.14},
+		{"complete16", opts(core.MechComplete, 5, false, 0), 16, 0.04, 0.09},
+		{"complete64", opts(core.MechComplete, 5, false, 0), 64, 0.03, 0.08},
+		{"timed16", opts(core.MechComplete, 5, true, 1), 16, 0.005, 0.05},
+		{"timed64", opts(core.MechComplete, 5, true, 1), 64, 0.001, 0.045},
+	}
+	for _, c := range cases {
+		got := AreaSavings(c.nodes, c.o)
+		if got < c.lo || got > c.hi {
+			t.Errorf("%s: area savings %.4f outside [%v, %v]", c.name, got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestAreaOrderings(t *testing.T) {
+	for _, nodes := range []int{16, 64} {
+		frag := AreaSavings(nodes, opts(core.MechFragmented, 2, false, 0))
+		comp := AreaSavings(nodes, opts(core.MechComplete, 5, false, 0))
+		timed := AreaSavings(nodes, opts(core.MechComplete, 5, true, 1))
+		if !(frag < 0) {
+			t.Errorf("%d nodes: fragmented must increase area, got savings %.4f", nodes, frag)
+		}
+		if !(comp > timed && timed > 0) {
+			t.Errorf("%d nodes: want complete (%.4f) > timed (%.4f) > 0", nodes, comp, timed)
+		}
+	}
+	// Bigger chips store wider identifiers: savings shrink with size.
+	if AreaSavings(64, opts(core.MechComplete, 5, false, 0)) >= AreaSavings(16, opts(core.MechComplete, 5, false, 0)) {
+		t.Error("complete-circuit savings should shrink from 16 to 64 cores")
+	}
+	if AreaSavings(64, opts(core.MechComplete, 5, true, 1)) >= AreaSavings(16, opts(core.MechComplete, 5, true, 1)) {
+		t.Error("timed savings should shrink from 16 to 64 cores")
+	}
+}
+
+func TestBaselineSavingsZero(t *testing.T) {
+	if s := AreaSavings(16, core.Options{}); s != 0 {
+		t.Fatalf("baseline vs itself should be 0, got %v", s)
+	}
+}
+
+func TestTimerBitsGrowWithChipAndSlack(t *testing.T) {
+	small := ConfigFor(16, opts(core.MechComplete, 5, true, 0))
+	big := ConfigFor(64, opts(core.MechComplete, 5, true, 0))
+	if big.TimerBits < small.TimerBits {
+		t.Fatalf("timer bits shrank with chip size: %d vs %d", small.TimerBits, big.TimerBits)
+	}
+	slacked := ConfigFor(64, opts(core.MechComplete, 5, true, 4))
+	if slacked.TimerBits < big.TimerBits {
+		t.Fatal("slack should widen reservation counters")
+	}
+}
+
+func TestNetworkEnergyComponents(t *testing.T) {
+	ev := &noc.PowerEvents{BufWrites: 100, BufReads: 100, XbarTraversals: 150, LinkFlits: 150}
+	e := NetworkEnergy(ev, 16, core.Options{}, 10000)
+	if e.Dynamic <= 0 || e.Static <= 0 {
+		t.Fatalf("energy components must be positive: %+v", e)
+	}
+	if e.Total() != e.Dynamic+e.Static {
+		t.Fatal("total mismatch")
+	}
+	// Leakage scales with run length.
+	e2 := NetworkEnergy(ev, 16, core.Options{}, 20000)
+	if e2.Static <= e.Static || e2.Dynamic != e.Dynamic {
+		t.Fatal("static energy must scale with cycles only")
+	}
+}
+
+func TestStaticEnergyTracksArea(t *testing.T) {
+	ev := &noc.PowerEvents{}
+	base := NetworkEnergy(ev, 64, core.Options{}, 1000).Static
+	frag := NetworkEnergy(ev, 64, opts(core.MechFragmented, 2, false, 0), 1000).Static
+	comp := NetworkEnergy(ev, 64, opts(core.MechComplete, 5, false, 0), 1000).Static
+	if !(frag > base && comp < base) {
+		t.Fatalf("leakage ordering wrong: frag=%v base=%v comp=%v", frag, base, comp)
+	}
+}
+
+func TestAreaBudgetItemization(t *testing.T) {
+	base := ConfigFor(64, core.Options{}).Budget()
+	if base.CircuitInfo != 0 {
+		t.Fatal("baseline router has no circuit storage")
+	}
+	if base.Total() != ConfigFor(64, core.Options{}).RouterArea() {
+		t.Fatal("budget total disagrees with RouterArea")
+	}
+	comp := ConfigFor(64, opts(core.MechComplete, 5, false, 0)).Budget()
+	if comp.Buffers >= base.Buffers {
+		t.Fatal("complete circuits must shed buffer area")
+	}
+	if comp.CircuitInfo <= 0 {
+		t.Fatal("complete circuits need circuit-information storage")
+	}
+	timed := ConfigFor(64, opts(core.MechComplete, 5, true, 1)).Budget()
+	if timed.CircuitInfo <= comp.CircuitInfo {
+		t.Fatal("timers must grow the circuit storage")
+	}
+	if timed.Fixed != comp.Fixed || timed.Buffers != comp.Buffers {
+		t.Fatal("timers must not change unrelated components")
+	}
+}
+
+func TestEnergyComponentBreakdown(t *testing.T) {
+	ev := &noc.PowerEvents{
+		BufWrites: 10, BufReads: 10, XbarTraversals: 20, LinkFlits: 20,
+		VAActivity: 5, SAActivity: 5, CircuitChecks: 8, CircuitWrites: 2, CreditsSent: 12,
+	}
+	e := NetworkEnergy(ev, 16, core.Options{}, 100)
+	sum := e.Buffers + e.Crossbars + e.Links + e.Arbiters + e.Circuits + e.Credits
+	if sum != e.Dynamic {
+		t.Fatalf("component sum %.3f != dynamic %.3f", sum, e.Dynamic)
+	}
+	if e.Buffers <= 0 || e.Links <= 0 || e.Circuits <= 0 {
+		t.Fatal("components missing")
+	}
+}
+
+func TestIntSqrt(t *testing.T) {
+	for _, c := range [][2]int{{16, 4}, {64, 8}, {15, 3}, {17, 4}, {1, 1}} {
+		if got := intSqrt(c[0]); got != c[1] {
+			t.Errorf("intSqrt(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestAddrBits(t *testing.T) {
+	for _, c := range [][2]int{{16, 4}, {64, 6}, {1, 1}, {2, 1}, {17, 5}} {
+		if got := addrBits(c[0]); got != c[1] {
+			t.Errorf("addrBits(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}

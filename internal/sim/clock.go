@@ -1,0 +1,70 @@
+package sim
+
+// Cycle is a simulation timestamp measured in core clock cycles (2 GHz in
+// the modelled chip). Cycles are int64 so arithmetic on windows and
+// deadlines can go transiently negative without wrapping.
+type Cycle = int64
+
+// Ticker is implemented by every clocked component. The kernel calls Tick
+// exactly once per cycle on each registered component.
+//
+// Components must only *read* state written by other components in earlier
+// cycles: all inter-component channels (links, credit wires) are one-cycle
+// double-buffered pipelines, which makes the tick order across components
+// observationally irrelevant.
+type Ticker interface {
+	Tick(now Cycle)
+}
+
+// Kernel drives a set of Tickers with a shared clock.
+type Kernel struct {
+	now     Cycle
+	tickers []Ticker
+	// post runs after every component ticked, in registration order. Links
+	// use it to flop their pipeline registers.
+	post []Ticker
+}
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current cycle.
+func (k *Kernel) Now() Cycle { return k.now }
+
+// Register adds a component to the main tick phase.
+func (k *Kernel) Register(t Ticker) { k.tickers = append(k.tickers, t) }
+
+// RegisterPost adds a component to the post-tick phase (pipeline flop).
+func (k *Kernel) RegisterPost(t Ticker) { k.post = append(k.post, t) }
+
+// Step advances the simulation by one cycle.
+func (k *Kernel) Step() {
+	now := k.now
+	for _, t := range k.tickers {
+		t.Tick(now)
+	}
+	for _, t := range k.post {
+		t.Tick(now)
+	}
+	k.now++
+}
+
+// Run advances n cycles.
+func (k *Kernel) Run(n Cycle) {
+	for i := Cycle(0); i < n; i++ {
+		k.Step()
+	}
+}
+
+// RunUntil advances until done reports true or the horizon is hit,
+// returning the cycle count actually simulated and whether done fired.
+func (k *Kernel) RunUntil(done func() bool, horizon Cycle) (Cycle, bool) {
+	start := k.now
+	for k.now-start < horizon {
+		if done() {
+			return k.now - start, true
+		}
+		k.Step()
+	}
+	return k.now - start, done()
+}

@@ -1,0 +1,84 @@
+package sim
+
+import "testing"
+
+type countTicker struct {
+	n     int
+	seen  []Cycle
+	other *countTicker
+	diffs []int
+}
+
+func (c *countTicker) Tick(now Cycle) {
+	c.n++
+	c.seen = append(c.seen, now)
+	if c.other != nil {
+		c.diffs = append(c.diffs, c.other.n-c.n)
+	}
+}
+
+func TestKernelStepAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	if k.Now() != 0 {
+		t.Fatalf("fresh kernel at cycle %d", k.Now())
+	}
+	k.Run(10)
+	if k.Now() != 10 {
+		t.Fatalf("after Run(10) at cycle %d", k.Now())
+	}
+}
+
+func TestKernelTicksEveryComponentOncePerCycle(t *testing.T) {
+	k := NewKernel()
+	a, b := &countTicker{}, &countTicker{}
+	k.Register(a)
+	k.Register(b)
+	k.Run(5)
+	if a.n != 5 || b.n != 5 {
+		t.Fatalf("tick counts a=%d b=%d, want 5", a.n, b.n)
+	}
+	for i, c := range a.seen {
+		if c != Cycle(i) {
+			t.Fatalf("a saw cycle %d at step %d", c, i)
+		}
+	}
+}
+
+func TestKernelPostPhaseRunsAfterMain(t *testing.T) {
+	k := NewKernel()
+	order := []string{}
+	k.Register(tickFunc(func(Cycle) { order = append(order, "main") }))
+	k.RegisterPost(tickFunc(func(Cycle) { order = append(order, "post") }))
+	k.Step()
+	if len(order) != 2 || order[0] != "main" || order[1] != "post" {
+		t.Fatalf("phase order %v", order)
+	}
+}
+
+type tickFunc func(Cycle)
+
+func (f tickFunc) Tick(now Cycle) { f(now) }
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.Register(tickFunc(func(Cycle) { n++ }))
+	ran, ok := k.RunUntil(func() bool { return n >= 7 }, 100)
+	if !ok {
+		t.Fatal("RunUntil should have satisfied the predicate")
+	}
+	if ran != 7 {
+		t.Fatalf("ran %d cycles, want 7", ran)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	k := NewKernel()
+	ran, ok := k.RunUntil(func() bool { return false }, 50)
+	if ok {
+		t.Fatal("predicate can never be true")
+	}
+	if ran != 50 {
+		t.Fatalf("ran %d cycles, want horizon 50", ran)
+	}
+}

@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"reactivenoc/internal/cpu"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, p := range Parallel() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	mix := Multiprogrammed()
+	if err := mix.Validate(); err != nil {
+		t.Errorf("mix: %v", err)
+	}
+	micro := Micro()
+	if err := micro.Validate(); err != nil {
+		t.Errorf("micro: %v", err)
+	}
+}
+
+func TestParallelCountMatchesPaper(t *testing.T) {
+	// 10 PARSEC + 11 SPLASH-2 applications.
+	if n := len(Parallel()); n != 21 {
+		t.Fatalf("%d parallel profiles, want 21", n)
+	}
+	if n := len(Names()); n != 22 {
+		t.Fatalf("%d workload names, want 22 (21 apps + mix)", n)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("canneal"); !ok {
+		t.Error("canneal missing")
+	}
+	if _, ok := ByName("mix"); !ok {
+		t.Error("mix missing")
+	}
+	if _, ok := ByName("doom"); ok {
+		t.Error("phantom workload found")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	p := Micro()
+	a, b := p.Stream(3, 42), p.Stream(3, 42)
+	for i := 0; i < 5000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("streams diverged at op %d: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestStreamsDifferAcrossCores(t *testing.T) {
+	p := Micro()
+	a, b := p.Stream(0, 1), p.Stream(1, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("cores produced %d/1000 identical ops", same)
+	}
+}
+
+func TestAddressesStayInRegions(t *testing.T) {
+	p := Micro()
+	regions := p.Regions(2)
+	inRegion := func(a uint64) bool {
+		if a >= uint64(coldBase(2)) && a < uint64(coldBase(2))+uint64(p.ColdLines*64) {
+			return true
+		}
+		for _, r := range regions {
+			if a >= uint64(r.Start) && a < uint64(r.Start)+uint64(r.Lines*64) {
+				return true
+			}
+		}
+		return false
+	}
+	st := p.Stream(2, 7)
+	for i := 0; i < 20000; i++ {
+		op := st.Next()
+		if op.Kind == cpu.OpCompute {
+			continue
+		}
+		if !inRegion(uint64(op.Addr)) {
+			t.Fatalf("address %#x outside every region", op.Addr)
+		}
+		if op.Addr%64 != 0 {
+			t.Fatalf("address %#x not line-aligned", op.Addr)
+		}
+	}
+}
+
+func TestMemFractionObserved(t *testing.T) {
+	p := Micro()
+	st := p.Stream(0, 9)
+	mem := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if st.Next().Kind != cpu.OpCompute {
+			mem++
+		}
+	}
+	frac := float64(mem) / n
+	if frac < p.MemFraction-0.02 || frac > p.MemFraction+0.02 {
+		t.Fatalf("observed mem fraction %.3f, want ~%.3f", frac, p.MemFraction)
+	}
+}
+
+func TestWriteFractionObserved(t *testing.T) {
+	p := Micro()
+	st := p.Stream(0, 11)
+	mem, writes := 0, 0
+	for i := 0; i < 100000; i++ {
+		op := st.Next()
+		if op.Kind == cpu.OpCompute {
+			continue
+		}
+		mem++
+		if op.Kind == cpu.OpStore {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(mem)
+	if frac < p.WriteFraction-0.03 || frac > p.WriteFraction+0.03 {
+		t.Fatalf("observed write fraction %.3f, want ~%.3f", frac, p.WriteFraction)
+	}
+}
+
+func TestRegionsDoNotOverlapAcrossCores(t *testing.T) {
+	p := Multiprogrammed()
+	check := func(a, b uint8) bool {
+		ca, cb := int(a%64), int(b%64)
+		if ca == cb {
+			return true
+		}
+		for _, ra := range p.Regions(ca) {
+			for _, rb := range p.Regions(cb) {
+				aEnd := uint64(ra.Start) + uint64(ra.Lines*64)
+				bEnd := uint64(rb.Start) + uint64(rb.Lines*64)
+				if uint64(ra.Start) < bEnd && uint64(rb.Start) < aEnd {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharedRegionSharedAcrossCores(t *testing.T) {
+	p := Micro()
+	r0 := p.Regions(0)
+	r1 := p.Regions(1)
+	if r0[len(r0)-1].Start != r1[len(r1)-1].Start {
+		t.Fatal("shared region must be common to all cores")
+	}
+}
+
+func TestHotRegionWarmsWholeL1(t *testing.T) {
+	for _, name := range Names() {
+		p, _ := ByName(name)
+		var l1 int
+		for _, r := range p.Regions(0) {
+			l1 += r.L1Lines
+		}
+		if l1 > 512 {
+			t.Errorf("%s prefills %d L1 lines (capacity 512)", name, l1)
+		}
+		if p.StreamLines > 0 && l1 < 400 {
+			t.Errorf("%s leaves the L1 mostly cold (%d lines)", name, l1)
+		}
+	}
+}
+
+func TestInvalidProfilesRejected(t *testing.T) {
+	bad := []Profile{
+		{Name: "x", MemFraction: 1.2, HotLines: 10},
+		{Name: "x", MemFraction: 0.3, HotLines: 0},
+		{Name: "x", MemFraction: 0.3, HotLines: 10, StreamFraction: 0.1},
+		{Name: "x", MemFraction: 0.3, HotLines: 10, SharedFraction: 0.1},
+		{Name: "x", MemFraction: 0.3, HotLines: 10, ColdFraction: 0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	p := Micro()
+	rec := p.Record(3, 7, 500)
+	if len(rec.Ops) != 500 {
+		t.Fatalf("recorded %d ops", len(rec.Ops))
+	}
+	live := p.Stream(3, 7)
+	for i := 0; i < 500; i++ {
+		if got, want := rec.Next(), live.Next(); got != want {
+			t.Fatalf("op %d: replay %+v != live %+v", i, got, want)
+		}
+	}
+	// Exhausted slice streams degrade to compute ops.
+	if op := rec.Next(); op.Kind != cpu.OpCompute {
+		t.Fatalf("exhausted stream returned %+v", op)
+	}
+}
+
+func TestScaledClampsAndRenames(t *testing.T) {
+	p := Micro()
+	q := p.Scaled(100)
+	if q.StreamFraction > 0.5 || q.SharedFraction > 0.5 {
+		t.Fatal("scaling must clamp fractions")
+	}
+	if q.Name == p.Name {
+		t.Fatal("scaled profile should carry a distinct name")
+	}
+	half := p.Scaled(0.5)
+	if half.StreamFraction >= p.StreamFraction {
+		t.Fatal("down-scaling did not reduce intensity")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
