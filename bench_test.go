@@ -39,7 +39,10 @@ func benchVariants(names ...string) []config.Variant {
 func BenchmarkTable1MessageMix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := exp.RunSweep(config.Chip64(), benchVariants("Baseline"), benchScale())
-		t1 := exp.Table1From(s)
+		t1, err := exp.Table1From(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(t1.ReplyFrac*100, "reply_pct")
 		b.ReportMetric(t1.EligibleFrac*100, "eligible_reply_pct")
 	}
@@ -106,7 +109,10 @@ func BenchmarkFig8NetworkEnergy(b *testing.B) {
 	vs := benchVariants("Baseline", "Fragmented", "Complete_NoAck")
 	for i := 0; i < b.N; i++ {
 		s := exp.RunSweep(config.Chip64(), vs, benchScale())
-		f := exp.Fig8From(s)
+		f, err := exp.Fig8From(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, row := range f.Rows {
 			switch row.Variant {
 			case "Fragmented":
@@ -123,7 +129,10 @@ func BenchmarkFig9Speedup(b *testing.B) {
 	vs := benchVariants("Baseline", "Complete_NoAck", "SlackDelay_1_NoAck", "Ideal")
 	for i := 0; i < b.N; i++ {
 		s := exp.RunSweep(config.Chip64(), vs, benchScale())
-		f := exp.Fig9From(s)
+		f, err := exp.Fig9From(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, row := range f.Rows {
 			switch row.Variant {
 			case "Complete_NoAck":
@@ -143,7 +152,10 @@ func BenchmarkFig10PerAppSpeedup(b *testing.B) {
 	vs := benchVariants("Baseline", "SlackDelay_1_NoAck")
 	for i := 0; i < b.N; i++ {
 		s := exp.RunSweep(config.Chip64(), vs, benchScale())
-		f := exp.Fig10From(s, "SlackDelay_1_NoAck")
+		f, err := exp.Fig10From(s, "SlackDelay_1_NoAck")
+		if err != nil {
+			b.Fatal(err)
+		}
 		best, worst := 0.0, 10.0
 		for _, v := range f.Speedup {
 			if v > best {
@@ -162,7 +174,7 @@ func BenchmarkFig10PerAppSpeedup(b *testing.B) {
 // circuit failures vs offered load, untimed vs timed.
 func BenchmarkLoadThreshold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ls := exp.LoadSweepRun(config.Chip64(), []float64{1, 8}, 2500)
+		ls := exp.LoadSweepRun(config.Chip64(), []float64{1, 8}, 2500, exp.DefaultPolicy())
 		heavy := ls.Rows[len(ls.Rows)-1]
 		b.ReportMetric(heavy.Failed["Complete_NoAck"]*100, "untimed_fail_pct")
 		b.ReportMetric(heavy.Failed["SlackDelay_1_NoAck"]*100, "timed_fail_pct")
@@ -173,7 +185,7 @@ func BenchmarkLoadThreshold(b *testing.B) {
 // five-entries-per-port constant.
 func BenchmarkAblationCircuitsPerPort(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ab := exp.AblateCircuitsPerPort(config.Chip64(), []int{1, 5}, 2500)
+		ab := exp.AblateCircuitsPerPort(config.Chip64(), []int{1, 5}, 2500, exp.DefaultPolicy())
 		b.ReportMetric(ab.Rows[0].StorageFailed*100, "one_entry_storage_fail_pct")
 		b.ReportMetric(ab.Rows[1].StorageFailed*100, "five_entry_storage_fail_pct")
 	}
@@ -182,7 +194,7 @@ func BenchmarkAblationCircuitsPerPort(b *testing.B) {
 // BenchmarkScalability measures circuit construction across chip sizes.
 func BenchmarkScalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ss := exp.ScaleSweepRun([]int{4, 8}, 2500)
+		ss := exp.ScaleSweepRun([]int{4, 8}, 2500, exp.DefaultPolicy())
 		b.ReportMetric(ss.Rows[0].Circuit["Complete_NoAck"]*100, "circuit16_pct")
 		b.ReportMetric(ss.Rows[1].Circuit["Complete_NoAck"]*100, "circuit64_pct")
 	}

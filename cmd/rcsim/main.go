@@ -32,6 +32,7 @@ func main() {
 	baseline := flag.Bool("baseline", false, "also run the baseline and report speedup/energy ratios")
 	traceN := flag.Int("trace", 0, "print the last N message-lifecycle events")
 	audit := flag.Bool("audit", false, "run the conservation/coherence audits after the run")
+	timeout := flag.Duration("timeout", 0, "wall-clock cap for the run (0 = none)")
 	flag.Parse()
 
 	var c config.Chip
@@ -60,9 +61,10 @@ func main() {
 	spec.Seed = *seed
 	spec.TraceCap = *traceN
 	spec.Audit = *audit
+	spec.Timeout = *timeout
 	r, err := chip.Run(spec)
 	if err != nil {
-		fatal("run failed: %v", err)
+		fatalRun(err)
 	}
 	report(r)
 	if *traceN > 0 {
@@ -78,7 +80,7 @@ func main() {
 		bspec.Variant = bv
 		b, err := chip.Run(bspec)
 		if err != nil {
-			fatal("baseline run failed: %v", err)
+			fatalRun(err)
 		}
 		fmt.Printf("\nvs baseline: speedup %+.2f%%  energy %.3fx  area savings %+.2f%%\n",
 			(r.Speedup(b)-1)*100, r.Energy.Total()/b.Energy.Total(), r.AreaSavings*100)
@@ -133,4 +135,13 @@ func injRate(r *chip.Results) float64 {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "rcsim: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// fatalRun prints a failed run with its full diagnostics (network state
+// dump, trace tail, injected faults) when the error carries them.
+func fatalRun(err error) {
+	if re := chip.AsRunError(err); re != nil {
+		fatal("run failed: %s", re.Verbose())
+	}
+	fatal("run failed: %v", err)
 }

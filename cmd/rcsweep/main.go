@@ -3,6 +3,12 @@
 // the extension experiments (load threshold, ablations, scalability,
 // related-work comparison, tail latency, confidence intervals).
 //
+// Individual simulation runs that fail (invariant panic, deadlock
+// watchdog, audit failure, wall-clock timeout) do not abort the sweep:
+// they are recorded, retried once under an alternate seed, and summarized
+// at the end, and rcsweep exits non-zero. Use -failfast to stop at the
+// first failure instead, and -timeout to cap each run's wall-clock time.
+//
 // Usage:
 //
 //	rcsweep                 # quick pass (subset of workloads, short runs)
@@ -10,9 +16,12 @@
 //	rcsweep -exp fig9       # one experiment only
 //	rcsweep -chip 64        # one chip size only
 //	rcsweep -json           # machine-readable output
+//	rcsweep -timeout 5m     # per-run wall-clock cap
+//	rcsweep -failfast       # stop scheduling runs after the first failure
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,31 +35,22 @@ import (
 // formatter is what every experiment report implements.
 type formatter interface{ Format() string }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	full := flag.Bool("full", false, "run the full workload suite")
 	which := flag.String("exp", "all",
 		"experiment: all, table1, table5, table6, fig6, fig7, fig8, fig9, fig10, load, ablate, scale, compare, tail, ci")
 	chipSel := flag.Int("chip", 0, "chip size (16 or 64); 0 = both")
 	ops := flag.Int64("ops", 0, "override measured operations per core")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-run wall-clock cap (0 = none)")
+	keepGoing := flag.Bool("keep-going", true, "survive failed runs and report them at the end")
+	failFast := flag.Bool("failfast", false, "stop scheduling new runs after the first failure")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text tables")
 	mdOut := flag.Bool("md", false, "emit the full evaluation as a markdown report (implies -exp all)")
 	flag.Parse()
-
-	if *mdOut {
-		scale := exp.QuickScale()
-		if *full {
-			scale = exp.FullScale()
-		}
-		if *ops > 0 {
-			scale.MeasureOps = *ops
-		}
-		scale.Seed = *seed
-		s16 := exp.RunSweep(config.Chip16(), config.Variants(), scale)
-		s64 := exp.RunSweep(config.Chip64(), config.Variants(), scale)
-		fmt.Print(exp.Markdown(s16, s64))
-		return
-	}
 
 	scale := exp.QuickScale()
 	if *full {
@@ -60,6 +60,32 @@ func main() {
 		scale.MeasureOps = *ops
 	}
 	scale.Seed = *seed
+	scale.Workers = *workers
+
+	pol := exp.DefaultPolicy()
+	pol.Timeout = *timeout
+	pol.FailFast = *failFast || !*keepGoing
+	ctx := context.Background()
+
+	failed := 0
+	note := func(summary string) {
+		if summary != "" {
+			failed++
+			fmt.Fprint(os.Stderr, summary)
+		}
+	}
+
+	if *mdOut {
+		s16 := exp.RunSweepCtx(ctx, config.Chip16(), config.Variants(), scale, pol)
+		s64 := exp.RunSweepCtx(ctx, config.Chip64(), config.Variants(), scale, pol)
+		fmt.Print(exp.Markdown(s16, s64))
+		note(s16.FailureSummary())
+		note(s64.FailureSummary())
+		if failed > 0 {
+			return 1
+		}
+		return 0
+	}
 
 	chips := []config.Chip{config.Chip16(), config.Chip64()}
 	switch *chipSel {
@@ -70,7 +96,7 @@ func main() {
 		chips = chips[1:]
 	default:
 		fmt.Fprintln(os.Stderr, "rcsweep: -chip must be 16 or 64")
-		os.Exit(1)
+		return 1
 	}
 
 	report := map[string]any{}
@@ -81,16 +107,28 @@ func main() {
 			fmt.Println(v.Format())
 		}
 	}
-	defer func() {
+	// emitErr surfaces an unavailable report without killing the sweep.
+	emitErr := func(key string, v formatter, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rcsweep: %s unavailable: %v\n", key, err)
+			return
+		}
+		emit(key, v)
+	}
+	finish := func() int {
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(report); err != nil {
 				fmt.Fprintf(os.Stderr, "rcsweep: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
-	}()
+		if failed > 0 {
+			return 1
+		}
+		return 0
+	}
 
 	want := func(name string) bool { return *which == "all" || *which == name }
 
@@ -99,40 +137,54 @@ func main() {
 		emit("table6", exp.Table6Compute())
 	}
 	if *which == "table6" {
-		return
+		return finish()
 	}
 
 	// The extension experiments run their own sweeps.
 	switch *which {
 	case "load":
 		for _, c := range chips {
-			emit("load_"+c.Name, exp.LoadSweepRun(c, []float64{0.5, 1, 2, 4, 8, 16}, scale.MeasureOps))
+			ls := exp.LoadSweepRun(c, []float64{0.5, 1, 2, 4, 8, 16}, scale.MeasureOps, pol)
+			emit("load_"+c.Name, ls)
+			note(exp.FormatFailures(ls.Failures))
 		}
-		return
+		return finish()
 	case "ablate":
 		for _, c := range chips {
-			emit("ablate_circuits_"+c.Name, exp.AblateCircuitsPerPort(c, []int{1, 2, 3, 5, 8}, scale.MeasureOps))
-			emit("ablate_slack_"+c.Name, exp.AblateSlack(c, []int{0, 1, 2, 4, 8}, scale.MeasureOps))
+			ac := exp.AblateCircuitsPerPort(c, []int{1, 2, 3, 5, 8}, scale.MeasureOps, pol)
+			emit("ablate_circuits_"+c.Name, ac)
+			note(exp.FormatFailures(ac.Failures))
+			as := exp.AblateSlack(c, []int{0, 1, 2, 4, 8}, scale.MeasureOps, pol)
+			emit("ablate_slack_"+c.Name, as)
+			note(exp.FormatFailures(as.Failures))
 		}
-		return
+		return finish()
 	case "scale":
-		emit("scale", exp.ScaleSweepRun([]int{4, 6, 8}, scale.MeasureOps))
-		return
+		ss := exp.ScaleSweepRun([]int{4, 6, 8}, scale.MeasureOps, pol)
+		emit("scale", ss)
+		note(exp.FormatFailures(ss.Failures))
+		return finish()
 	case "compare":
 		for _, c := range chips {
-			emit("compare_"+c.Name, exp.CompareRun(c, scale.MeasureOps))
+			cr := exp.CompareRun(c, scale.MeasureOps, pol)
+			emit("compare_"+c.Name, cr)
+			note(exp.FormatFailures(cr.Failures))
 		}
-		return
+		return finish()
 	case "tail":
 		for _, c := range chips {
-			emit("tail_"+c.Name, exp.TailRun(c, scale.MeasureOps))
+			tl := exp.TailRun(c, scale.MeasureOps, pol)
+			emit("tail_"+c.Name, tl)
+			note(exp.FormatFailures(tl.Failures))
 		}
-		return
+		return finish()
 	case "ci":
 		for _, c := range chips {
-			emit("ci_"+c.Name, exp.CIRun(c, []string{"Complete_NoAck", "SlackDelay_1_NoAck"}, 5, scale.MeasureOps))
+			ci := exp.CIRun(c, []string{"Complete_NoAck", "SlackDelay_1_NoAck"}, 5, scale.MeasureOps, pol)
+			emit("ci_"+c.Name, ci)
+			note(exp.FormatFailures(ci.Failures))
 		}
-		return
+		return finish()
 	}
 
 	for _, c := range chips {
@@ -141,14 +193,15 @@ func main() {
 			fmt.Printf("==== %s chip (%d runs x %d ops/core) ====\n",
 				c.Name, len(config.Variants())*len(scale.Workloads()), scale.MeasureOps)
 		}
-		sweep := exp.RunSweep(c, config.Variants(), scale)
+		sweep := exp.RunSweepCtx(ctx, c, config.Variants(), scale, pol)
 		if !*jsonOut {
 			fmt.Printf("sweep finished in %v\n\n", time.Since(t0).Round(time.Millisecond))
 		}
 
 		big := c.Nodes() == 64 || len(chips) == 1
 		if want("table1") && big {
-			emit("table1", exp.Table1From(sweep))
+			t1, err := exp.Table1From(sweep)
+			emitErr("table1", t1, err)
 		}
 		if want("table5") && big {
 			emit("table5", exp.Table5From(sweep, "Complete_NoAck"))
@@ -160,13 +213,21 @@ func main() {
 			emit("fig7_"+c.Name, exp.Fig7From(sweep))
 		}
 		if want("fig8") {
-			emit("fig8_"+c.Name, exp.Fig8From(sweep))
+			f8, err := exp.Fig8From(sweep)
+			emitErr("fig8_"+c.Name, f8, err)
 		}
 		if want("fig9") {
-			emit("fig9_"+c.Name, exp.Fig9From(sweep))
+			f9, err := exp.Fig9From(sweep)
+			emitErr("fig9_"+c.Name, f9, err)
 		}
 		if want("fig10") && big {
-			emit("fig10", exp.Fig10From(sweep, "SlackDelay_1_NoAck"))
+			f10, err := exp.Fig10From(sweep, "SlackDelay_1_NoAck")
+			emitErr("fig10", f10, err)
 		}
+		if *jsonOut && len(sweep.Failures) > 0 {
+			report["failures_"+c.Name] = sweep.Failures
+		}
+		note(sweep.FailureSummary())
 	}
+	return finish()
 }

@@ -5,13 +5,16 @@
 package chip
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"reactivenoc/internal/cache"
 	"reactivenoc/internal/coherence"
 	"reactivenoc/internal/config"
 	"reactivenoc/internal/core"
 	"reactivenoc/internal/cpu"
+	"reactivenoc/internal/fault"
 	"reactivenoc/internal/mesh"
 	"reactivenoc/internal/noc"
 	"reactivenoc/internal/power"
@@ -42,6 +45,17 @@ type Spec struct {
 	// (leaked circuit entries, unreturned credits, directory soundness)
 	// and fails the run on any violation.
 	Audit bool
+
+	// Timeout caps the run's wall-clock time (0 = none); an exceeded run
+	// returns a *RunError instead of hogging its sweep worker.
+	Timeout time.Duration
+	// WatchdogStall overrides the forward-progress watchdog threshold in
+	// cycles (0 = the package default).
+	WatchdogStall sim.Cycle
+	// Fault, when non-nil, arms the deterministic fault injector for
+	// chaos runs; injections are reported in Results.Faults or, when the
+	// corruption is caught, in RunError.Faults.
+	Fault *fault.Plan
 }
 
 // DefaultSpec returns a spec with sane defaults for the given chip,
@@ -95,6 +109,10 @@ type Results struct {
 
 	// Trace holds the retained lifecycle events when Spec.TraceCap > 0.
 	Trace []trace.Event
+
+	// Faults logs the injected faults of a chaos run that finished
+	// anyway (normally empty).
+	Faults []fault.Event
 }
 
 // IPC returns retired operations per core per cycle.
@@ -123,6 +141,16 @@ func (r *Results) Speedup(baseline *Results) float64 {
 // magnitude above that is unambiguous.
 const watchdogStall sim.Cycle = 50_000
 
+// diagTraceCap is the trace tail retained for fault-armed runs that did
+// not ask for tracing themselves, so a chaos failure still carries its
+// last lifecycle events.
+const diagTraceCap = 48
+
+// checkEvery is how often (in cycles) a run polls its context and
+// wall-clock deadline; cancellation latency stays under a millisecond of
+// simulation work.
+const checkEvery = 2048
+
 // coresTicker drives every core each cycle, after the system.
 type coresTicker struct {
 	cores []*cpu.Core
@@ -135,12 +163,62 @@ func (ct *coresTicker) Tick(now sim.Cycle) {
 }
 
 // Run executes the spec and returns its measurements.
-func Run(spec Spec) (*Results, error) {
+func Run(spec Spec) (*Results, error) { return RunCtx(context.Background(), spec) }
+
+// RunCtx executes the spec with cancellation and failure containment: an
+// invariant panic anywhere in the simulated machine is recovered into a
+// structured *RunError (never re-thrown), as are watchdog deadlocks,
+// horizon and wall-clock timeouts, context cancellation, and audit
+// failures. A long sweep survives any single run dying.
+func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 	if spec.MeasureOps <= 0 {
 		return nil, fmt.Errorf("chip: MeasureOps must be positive")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	var (
+		kernel *sim.Kernel
+		sys    *coherence.System
+		tr     *trace.Buffer
+		inj    *fault.Injector
+	)
+	phase := "setup"
+
+	// runErr builds the structured failure for the current phase with the
+	// diagnostic dump, trace tail and injected-fault log attached.
+	runErr := func(msg string, panicked bool) *RunError {
+		e := &RunError{
+			Phase: phase, Chip: spec.Chip.Name, Variant: spec.Variant.Name,
+			Workload: spec.Workload.Name, Seed: spec.Seed,
+			Msg: msg, Panicked: panicked,
+		}
+		if kernel != nil {
+			e.Cycle = kernel.Now()
+		}
+		if sys != nil {
+			e.Diag = sys.Net.DumpState()
+			if sys.Mgr != nil {
+				e.Diag += sys.Mgr.DumpCircuits(e.Cycle)
+			}
+		}
+		if tr != nil {
+			e.TraceTail = tr.Events()
+		}
+		if inj != nil {
+			e.Faults = inj.Events()
+		}
+		return e
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, runErr(fmt.Sprint(r), true)
+		}
+	}()
+
 	m := mesh.New(spec.Chip.Width, spec.Chip.Height)
-	sys := coherence.NewSystem(m, spec.Variant.Opts, spec.Chip.MCs)
+	sys = coherence.NewSystem(m, spec.Variant.Opts, spec.Chip.MCs)
 	n := m.Nodes()
 
 	// Functional cache warming (the paper warms for 200M cycles): every
@@ -158,12 +236,25 @@ func Run(spec Spec) (*Results, error) {
 		}
 	}
 
-	var tr *trace.Buffer
-	if spec.TraceCap > 0 {
-		tr = trace.New(spec.TraceCap)
+	// A diagnostic tracer rides along whenever the caller asked for one or
+	// armed the fault injector, so failures carry a bounded trace tail.
+	traceCap := spec.TraceCap
+	if traceCap <= 0 && spec.Fault != nil {
+		traceCap = diagTraceCap
+	}
+	if traceCap > 0 {
+		tr = trace.New(traceCap)
 		sys.Net.SetTracer(tr)
 		if sys.Mgr != nil {
 			sys.Mgr.SetTracer(tr)
+		}
+	}
+
+	if spec.Fault != nil {
+		inj = fault.New(*spec.Fault)
+		sys.Net.SetFaultHook(inj)
+		if sys.Mgr != nil {
+			sys.Mgr.SetFaultHook(inj)
 		}
 	}
 
@@ -177,13 +268,21 @@ func Run(spec Spec) (*Results, error) {
 		cores[i] = cpu.New(i, sys.L1s[i], st, limit)
 	}
 
-	kernel := sim.NewKernel()
+	kernel = sim.NewKernel()
 	kernel.Register(sys)
 	kernel.Register(&coresTicker{cores: cores})
 
 	horizon := spec.Horizon
 	if horizon == 0 {
 		horizon = sim.Cycle(spec.WarmupOps+spec.MeasureOps)*220 + 1_000_000
+	}
+	stall := spec.WatchdogStall
+	if stall <= 0 {
+		stall = watchdogStall
+	}
+	var wallDeadline time.Time
+	if spec.Timeout > 0 {
+		wallDeadline = time.Now().Add(spec.Timeout)
 	}
 
 	allDone := func() bool {
@@ -197,13 +296,23 @@ func Run(spec Spec) (*Results, error) {
 
 	// runPhase advances until every core finishes, with a forward-progress
 	// watchdog: if no operation retires for a long stretch, the phase is
-	// deadlocked and the network state dump is attached to the error.
+	// deadlocked and the network state dump is attached to the error. The
+	// context and wall-clock deadline are polled every checkEvery cycles.
 	runPhase := func(name string) error {
+		phase = name
 		deadline := kernel.Now() + horizon
 		lastRetired, lastProgress := int64(-1), kernel.Now()
 		for kernel.Now() < deadline {
 			if allDone() {
 				return nil
+			}
+			if kernel.Now()%checkEvery == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return runErr("canceled: "+cerr.Error(), false)
+				}
+				if !wallDeadline.IsZero() && time.Now().After(wallDeadline) {
+					return runErr(fmt.Sprintf("exceeded wall-clock timeout %v", spec.Timeout), false)
+				}
 			}
 			kernel.Step()
 			var retired int64
@@ -212,19 +321,14 @@ func Run(spec Spec) (*Results, error) {
 			}
 			if retired != lastRetired {
 				lastRetired, lastProgress = retired, kernel.Now()
-			} else if kernel.Now()-lastProgress > watchdogStall {
-				diag := sys.Net.DumpState()
-				if sys.Mgr != nil {
-					diag += sys.Mgr.DumpCircuits(kernel.Now())
-				}
-				return fmt.Errorf("chip: %s phase made no progress for %d cycles (deadlock?)\n%s",
-					name, watchdogStall, diag)
+			} else if kernel.Now()-lastProgress > stall {
+				return runErr(fmt.Sprintf("no progress for %d cycles (deadlock?)", stall), false)
 			}
 		}
 		if allDone() {
 			return nil
 		}
-		return fmt.Errorf("chip: %s phase did not finish within %d cycles", name, horizon)
+		return runErr(fmt.Sprintf("did not finish within %d cycles", horizon), false)
 	}
 
 	if spec.WarmupOps > 0 {
@@ -247,12 +351,13 @@ func Run(spec Spec) (*Results, error) {
 	}
 
 	if spec.Audit {
-		if err := sys.AuditQuiescent(kernel.Now()); err != nil {
-			return nil, fmt.Errorf("chip: post-run audit failed: %w", err)
+		phase = "audit"
+		if aerr := sys.AuditQuiescent(kernel.Now()); aerr != nil {
+			return nil, runErr("post-run audit failed: "+aerr.Error(), false)
 		}
 	}
 
-	res := &Results{Spec: spec}
+	res = &Results{Spec: spec}
 	var lastFinish sim.Cycle
 	for _, c := range cores {
 		if c.FinishedAt > lastFinish {
@@ -291,8 +396,11 @@ func Run(spec Spec) (*Results, error) {
 	if res.Cycles > 0 {
 		res.InjRate = float64(res.Events.LinkFlits) / float64(res.Cycles) / float64(n)
 	}
-	if tr != nil {
+	if spec.TraceCap > 0 && tr != nil {
 		res.Trace = tr.Events()
+	}
+	if inj != nil {
+		res.Faults = inj.Events()
 	}
 	return res, nil
 }

@@ -1,10 +1,14 @@
 package chip
 
 import (
+	"context"
+	"strings"
 	"testing"
+	"time"
 
 	"reactivenoc/internal/config"
 	"reactivenoc/internal/core"
+	"reactivenoc/internal/fault"
 	"reactivenoc/internal/workload"
 )
 
@@ -241,5 +245,107 @@ func TestComparatorsRunAt16(t *testing.T) {
 				t.Fatal("probe comparator sent no setup flits")
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Failure containment: panics, watchdog, timeout, cancellation.
+// ---------------------------------------------------------------------------
+
+func TestWatchdogReturnsDiagnosticError(t *testing.T) {
+	// A permanently stalled link starves the cores behind it: the run must
+	// come back with a structured deadlock error carrying the network
+	// dump, not hang until the horizon.
+	s := quickSpec(t, config.Chip16(), "Complete_NoAck")
+	s.Fault = &fault.Plan{Class: fault.StallLink, After: 2000}
+	s.WatchdogStall = 2000
+	_, err := Run(s)
+	if err == nil {
+		t.Fatal("stalled run reported success")
+	}
+	re := AsRunError(err)
+	if re == nil {
+		t.Fatalf("watchdog error is not a *RunError: %v", err)
+	}
+	if !strings.Contains(re.Msg, "no progress") {
+		t.Fatalf("unexpected failure message: %s", re.Msg)
+	}
+	if re.Panicked {
+		t.Fatal("watchdog failure misreported as a panic")
+	}
+	if re.Diag == "" {
+		t.Fatal("deadlock error lacks the network state dump")
+	}
+	if re.Cycle == 0 {
+		t.Fatal("deadlock error lacks the failure cycle")
+	}
+}
+
+func TestPanicContainedAsRunError(t *testing.T) {
+	// A flipped built bit makes the reply hit a vanished reservation: the
+	// router's invariant panic must be recovered into a RunError with the
+	// trace tail attached, never escape to the caller as a panic.
+	s := quickSpec(t, config.Chip16(), "Complete_NoAck")
+	s.Fault = &fault.Plan{Class: fault.FlipBuiltBit}
+	res, err := Run(s)
+	if err == nil {
+		t.Skipf("flip-built-bit absorbed in this configuration (res=%v)", res != nil)
+	}
+	re := AsRunError(err)
+	if re == nil {
+		t.Fatalf("panic not wrapped as *RunError: %v", err)
+	}
+	if !re.Panicked {
+		t.Fatalf("invariant failure not flagged as panic: %s", re.Msg)
+	}
+	if len(re.TraceTail) == 0 {
+		t.Fatal("contained panic lacks the trace tail")
+	}
+	if re.Fingerprint() == "" || !strings.Contains(re.Error(), "Complete_NoAck") {
+		t.Fatalf("error does not identify the spec: %s", re.Error())
+	}
+}
+
+func TestWallClockTimeout(t *testing.T) {
+	s := quickSpec(t, config.Chip16(), "Baseline")
+	s.Timeout = time.Nanosecond
+	_, err := Run(s)
+	if err == nil {
+		t.Fatal("nanosecond budget reported success")
+	}
+	re := AsRunError(err)
+	if re == nil || !strings.Contains(re.Msg, "timeout") {
+		t.Fatalf("expected a timeout RunError, got: %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, quickSpec(t, config.Chip16(), "Baseline"))
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	re := AsRunError(err)
+	if re == nil || !strings.Contains(re.Msg, "canceled") {
+		t.Fatalf("expected a cancellation RunError, got: %v", err)
+	}
+}
+
+func TestSuccessfulFaultRunKeepsEventLog(t *testing.T) {
+	// A withheld credit is only caught by the audits; with auditing off
+	// the run completes, but the injection must still be visible in the
+	// results so nothing fires silently.
+	s := quickSpec(t, config.Chip16(), "Baseline")
+	s.Fault = &fault.Plan{Class: fault.WithholdCredit}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatalf("unaudited withheld credit should not fail the run: %v", err)
+	}
+	if len(r.Faults) == 0 {
+		t.Fatal("injected fault missing from the results' event log")
+	}
+	if r.Trace != nil {
+		t.Fatal("fault-armed run leaked its diagnostic trace into the results")
 	}
 }

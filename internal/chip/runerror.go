@@ -1,0 +1,91 @@
+package chip
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"reactivenoc/internal/fault"
+	"reactivenoc/internal/sim"
+	"reactivenoc/internal/trace"
+)
+
+// RunError is the structured failure of one simulation run: which spec
+// died, in which phase, at which cycle, and why — with the network
+// diagnostic dump, a bounded trace tail, and the injected-fault log
+// attached so a failed run in a thousand-run sweep is actionable without
+// re-running it.
+type RunError struct {
+	// Phase is where the run failed: setup, warm-up, measured, or audit.
+	Phase string
+	// Cycle is the simulation time of the failure.
+	Cycle sim.Cycle
+
+	// Chip, Variant, Workload and Seed fingerprint the failing spec.
+	Chip     string
+	Variant  string
+	Workload string
+	Seed     uint64
+
+	// Msg describes the failure; Panicked marks a contained invariant
+	// panic (as opposed to a watchdog, timeout, or audit error).
+	Msg      string
+	Panicked bool
+
+	// Diag is the network state dump plus the live-circuit dump taken at
+	// failure time.
+	Diag string
+	// TraceTail holds the last retained lifecycle events, when a tracer
+	// was attached.
+	TraceTail []trace.Event
+	// Faults logs the injected faults of a chaos run.
+	Faults []fault.Event
+}
+
+// Fingerprint identifies the failing spec: chip/variant/workload/seed.
+func (e *RunError) Fingerprint() string {
+	return fmt.Sprintf("%s/%s/%s/seed%d", e.Chip, e.Variant, e.Workload, e.Seed)
+}
+
+// Error renders the one-line summary; Verbose adds the diagnostics.
+func (e *RunError) Error() string {
+	kind := ""
+	if e.Panicked {
+		kind = " (invariant panic)"
+	}
+	return fmt.Sprintf("chip: run %s failed in %s phase at cycle %d%s: %s",
+		e.Fingerprint(), e.Phase, e.Cycle, kind, e.Msg)
+}
+
+// Verbose renders the error with its diagnostic dump, trace tail and
+// injected-fault log.
+func (e *RunError) Verbose() string {
+	var b strings.Builder
+	b.WriteString(e.Error())
+	b.WriteByte('\n')
+	if len(e.Faults) > 0 {
+		b.WriteString("injected faults:\n")
+		for _, f := range e.Faults {
+			fmt.Fprintf(&b, "  %s\n", f)
+		}
+	}
+	if len(e.TraceTail) > 0 {
+		fmt.Fprintf(&b, "last %d lifecycle events:\n", len(e.TraceTail))
+		for _, ev := range e.TraceTail {
+			fmt.Fprintf(&b, "  %s\n", ev)
+		}
+	}
+	if e.Diag != "" {
+		b.WriteString(e.Diag)
+	}
+	return b.String()
+}
+
+// AsRunError unwraps err to its *RunError, or nil when it carries none.
+func AsRunError(err error) *RunError {
+	var re *RunError
+	if errors.As(err, &re) {
+		return re
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"reactivenoc/internal/mesh"
+	"reactivenoc/internal/sim"
+)
+
+// FaultHook is the seam a deterministic fault injector (internal/fault)
+// plugs into the circuit manager. It is consulted right after a reservation
+// is installed in a router's circuit table, modelling single-event upsets
+// of the Figure-3 entry fields that the riding invariants and conservation
+// audits must catch. The hook must be deterministic.
+type FaultHook interface {
+	// FlipBuiltBit reports whether the entry just installed at router id
+	// should have its built (B) bit cleared — an upset that makes the
+	// reply's circuit check miss a reservation the NI registry still
+	// advertises.
+	FlipBuiltBit(id mesh.NodeID, now sim.Cycle) bool
+	// TruncateWindow returns a corrupted end-of-window for the timed entry
+	// just installed at router id (ok=false leaves it untouched). An entry
+	// that expires before its reply arrives breaks the timed schedule.
+	TruncateWindow(id mesh.NodeID, start, end, now sim.Cycle) (sim.Cycle, bool)
+}
+
+// SetFaultHook arms (or, with nil, disarms) a fault injector on the
+// manager's reservation path.
+func (mg *Manager) SetFaultHook(h FaultHook) { mg.fault = h }

@@ -92,6 +92,7 @@ type Manager struct {
 	Stats Stats
 
 	tracer *trace.Buffer
+	fault  FaultHook
 }
 
 // SetTracer attaches a lifecycle tracer for circuit events (nil detaches).
@@ -278,6 +279,16 @@ func (mg *Manager) reserveComplete(id mesh.NodeID, msg *noc.Message, in, out mes
 	if ins == nil {
 		mg.failCircuit(id, msg, in, now, &mg.Stats.ReserveFailedStorage)
 		return
+	}
+	if mg.fault != nil {
+		if ins.timed() {
+			if end, ok := mg.fault.TruncateWindow(id, ins.winStart, ins.winEnd, now); ok {
+				ins.winEnd = end
+			}
+		}
+		if mg.fault.FlipBuiltBit(id, now) {
+			ins.built = false
+		}
 	}
 	mg.noteOrdinal(ord)
 	mg.net.Events().CircuitWrites++

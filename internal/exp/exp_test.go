@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"reactivenoc/internal/config"
+	"reactivenoc/internal/fault"
 )
 
 func tinyScale() Scale { return Scale{MeasureOps: 2000, Apps: 3, Seed: 1} }
@@ -50,7 +52,10 @@ func TestSweepRunsEveryCell(t *testing.T) {
 
 func TestTable1Shape(t *testing.T) {
 	s := tinySweep(t, "Baseline")
-	t1 := Table1From(s)
+	t1, err := Table1From(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if t1.Total == 0 {
 		t.Fatal("no traffic")
 	}
@@ -161,8 +166,14 @@ func TestFig7LatencyDrop(t *testing.T) {
 
 func TestFig8And9Bands(t *testing.T) {
 	s := tinySweep(t, "Baseline", "Fragmented", "Complete_NoAck")
-	f8 := Fig8From(s)
-	f9 := Fig9From(s)
+	f8, err := Fig8From(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9, err := Fig9From(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	get := func(rows []RatioRow, name string) RatioRow {
 		for _, r := range rows {
 			if r.Variant == name {
@@ -185,7 +196,10 @@ func TestFig8And9Bands(t *testing.T) {
 
 func TestFig10PerApp(t *testing.T) {
 	s := tinySweep(t, "Baseline", "SlackDelay_1_NoAck")
-	f := Fig10From(s, "SlackDelay_1_NoAck")
+	f, err := Fig10From(s, "SlackDelay_1_NoAck")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f.Apps) != len(s.AppNames()) {
 		t.Fatalf("%d apps in fig10, want %d", len(f.Apps), len(s.AppNames()))
 	}
@@ -220,5 +234,139 @@ func TestMarkdownReport(t *testing.T) {
 	// Nil sweeps are tolerated.
 	if md2 := Markdown(nil, nil); !strings.Contains(md2, "Table 6") {
 		t.Error("area-only report broken")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant sweeps: poisoned runs are contained, reported, retried.
+// ---------------------------------------------------------------------------
+
+func TestPoisonedSweepCompletesWithPartialResults(t *testing.T) {
+	vs := []config.Variant{}
+	for _, n := range []string{"Baseline", "Complete_NoAck"} {
+		v, _ := config.ByName(n)
+		vs = append(vs, v)
+	}
+	pol := DefaultPolicy()
+	// Poison exactly one cell: Complete_NoAck on the first app dies from a
+	// flipped built bit; everything else must still produce results.
+	apps := tinyScale().Workloads()
+	poisoned := apps[0].Name
+	pol.FaultFor = func(variant, workload string) *fault.Plan {
+		if variant == "Complete_NoAck" && workload == poisoned {
+			return &fault.Plan{Class: fault.FlipBuiltBit}
+		}
+		return nil
+	}
+	s := RunSweepCtx(context.Background(), config.Chip16(), vs, tinyScale(), pol)
+
+	if len(s.Failures) != 1 {
+		t.Fatalf("%d failures recorded, want exactly 1:\n%s", len(s.Failures), s.FailureSummary())
+	}
+	f := s.Failures[0]
+	if f.Variant != "Complete_NoAck" || f.Workload != poisoned {
+		t.Fatalf("failure names wrong cell: %s/%s", f.Variant, f.Workload)
+	}
+	if f.Err == nil || f.Err.Phase == "" || f.Err.Cycle == 0 {
+		t.Fatalf("failure lacks phase/cycle: %+v", f.Err)
+	}
+	if f.Err.Diag == "" {
+		t.Fatal("failure lacks the diagnostic dump")
+	}
+	// The injected plan is spec-deterministic, so the alternate-seed retry
+	// must reproduce it and be classified as a deterministic bug.
+	if !f.Retried || !f.Deterministic() {
+		t.Fatalf("deterministic fault not classified as such: %s", f.String())
+	}
+	// Every other cell completed.
+	for _, v := range s.Variants {
+		for _, app := range s.AppNames() {
+			if v.Name == "Complete_NoAck" && app == poisoned {
+				if s.Res[v.Name][app] != nil {
+					t.Fatal("poisoned cell leaked a result into the sweep")
+				}
+				continue
+			}
+			if s.Res[v.Name][app] == nil {
+				t.Fatalf("healthy cell %s/%s missing", v.Name, app)
+			}
+		}
+	}
+	if s.FailureSummary() == "" {
+		t.Fatal("no failure summary rendered")
+	}
+	// And the report generators survive the hole.
+	if _, err := Fig9From(s); err != nil {
+		t.Fatalf("Fig9 unavailable despite baseline present: %v", err)
+	}
+	md := Markdown(s, nil)
+	if !strings.Contains(md, "Run failures") {
+		t.Fatal("markdown report misses the failure section")
+	}
+}
+
+func TestBaselineMissingIsAnError(t *testing.T) {
+	s := tinySweep(t, "Complete_NoAck")
+	if _, err := s.Baseline(); err == nil {
+		t.Fatal("missing baseline not reported")
+	}
+	if _, err := Table1From(s); err == nil {
+		t.Fatal("Table1From should fail without a baseline")
+	}
+	if _, err := Fig8From(s); err == nil {
+		t.Fatal("Fig8From should fail without a baseline")
+	}
+	if _, err := Fig10From(s, "Complete_NoAck"); err == nil {
+		t.Fatal("Fig10From should fail without a baseline")
+	}
+	if _, err := Fig10From(tinySweep(t, "Baseline"), "NoSuchVariant"); err == nil {
+		t.Fatal("Fig10From should fail for an unknown variant")
+	}
+	// The markdown report degrades instead of panicking.
+	if md := Markdown(nil, s); !strings.Contains(md, "unavailable") {
+		t.Fatal("markdown report should note unavailable sections")
+	}
+}
+
+func TestFailFastStopsScheduling(t *testing.T) {
+	vs := []config.Variant{}
+	for _, n := range []string{"Complete_NoAck", "Baseline"} {
+		v, _ := config.ByName(n)
+		vs = append(vs, v)
+	}
+	pol := Policy{FailFast: true} // no retry: first failure halts the sweep
+	pol.FaultFor = func(variant, _ string) *fault.Plan {
+		if variant == "Complete_NoAck" {
+			return &fault.Plan{Class: fault.FlipBuiltBit}
+		}
+		return nil
+	}
+	scale := tinyScale()
+	scale.Workers = 1 // serialize so the halt point is deterministic
+	s := RunSweepCtx(context.Background(), config.Chip16(), vs, scale, pol)
+	if len(s.Failures) == 0 {
+		t.Fatal("no failure recorded")
+	}
+	ran := 0
+	for _, byApp := range s.Res {
+		ran += len(byApp)
+	}
+	total := len(vs) * len(s.Apps)
+	if ran >= total-1 {
+		t.Fatalf("fail-fast ran %d of %d cells", ran, total)
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := RunSweepCtx(ctx, config.Chip16(), []config.Variant{}, tinyScale(), DefaultPolicy())
+	if len(s.Res) != 0 {
+		t.Fatal("cancelled sweep still has variant maps to fill")
+	}
+	v, _ := config.ByName("Baseline")
+	s = RunSweepCtx(ctx, config.Chip16(), []config.Variant{v}, tinyScale(), DefaultPolicy())
+	if n := len(s.Res["Baseline"]); n != 0 {
+		t.Fatalf("cancelled sweep completed %d runs", n)
 	}
 }

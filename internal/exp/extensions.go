@@ -17,8 +17,9 @@ import (
 
 // LoadSweep measures circuit success and speedup as the offered load grows.
 type LoadSweep struct {
-	Chip config.Chip
-	Rows []LoadRow
+	Chip     config.Chip
+	Rows     []LoadRow
+	Failures []FailureReport
 }
 
 // LoadRow is one load point.
@@ -36,11 +37,16 @@ type LoadRow struct {
 // contrasts: untimed complete circuits vs timed with slack and delay.
 func loadVariants() []string { return []string{"Complete_NoAck", "SlackDelay_1_NoAck"} }
 
-// LoadSweepRun sweeps workload intensity multipliers on one chip.
-func LoadSweepRun(c config.Chip, factors []float64, ops int64) *LoadSweep {
+// LoadSweepRun sweeps workload intensity multipliers on one chip. Failed
+// runs are recorded in the result's Failures and their points skipped.
+func LoadSweepRun(c config.Chip, factors []float64, ops int64, pol Policy) *LoadSweep {
 	ls := &LoadSweep{Chip: c}
+	cl := newCollector(nil, pol)
 	base := workload.Micro()
 	for _, f := range factors {
+		if cl.halted() {
+			break
+		}
 		w := base.Scaled(f)
 		row := LoadRow{
 			Factor:  f,
@@ -51,13 +57,19 @@ func LoadSweepRun(c config.Chip, factors []float64, ops int64) *LoadSweep {
 		bv, _ := config.ByName("Baseline")
 		bspec := chip.DefaultSpec(c, bv, w)
 		bspec.MeasureOps = ops
-		b := chip.MustRun(bspec)
+		b, ok := cl.run(bspec)
+		if !ok {
+			continue // no baseline at this load point; nothing to normalize to
+		}
 		row.InjRate = injectedFlitsPerNodeCycle(b)
 		for _, name := range loadVariants() {
 			v, _ := config.ByName(name)
 			spec := chip.DefaultSpec(c, v, w)
 			spec.MeasureOps = ops
-			r := chip.MustRun(spec)
+			r, ok := cl.run(spec)
+			if !ok {
+				continue
+			}
 			row.Circuit[name] = r.Circ.OutcomeFraction(core.OutcomeCircuit)
 			att := float64(r.Circ.CircuitsBuilt + r.Circ.ReserveFailedConflict + r.Circ.ReserveFailedStorage)
 			if att > 0 {
@@ -67,6 +79,7 @@ func LoadSweepRun(c config.Chip, factors []float64, ops int64) *LoadSweep {
 		}
 		ls.Rows = append(ls.Rows, row)
 	}
+	ls.Failures = cl.take()
 	return ls
 }
 
@@ -95,7 +108,8 @@ func (ls *LoadSweep) Format() string {
 	}
 	return fmt.Sprintf("Load threshold (%s): circuit construction vs offered load\n%s", ls.Chip.Name, tb.String()) +
 		"the paper (Section 5.5): heavy loads make conflicts frequent and prevent complete circuits;\n" +
-		"timed circuits hold ports only for their windows, raising the congestion threshold\n"
+		"timed circuits hold ports only for their windows, raising the congestion threshold\n" +
+		FormatFailures(ls.Failures)
 }
 
 // ---------------------------------------------------------------------------
@@ -104,9 +118,10 @@ func (ls *LoadSweep) Format() string {
 
 // Ablation is a one-dimensional design sweep.
 type Ablation struct {
-	Chip  config.Chip
-	Param string
-	Rows  []AblationRow
+	Chip     config.Chip
+	Param    string
+	Rows     []AblationRow
+	Failures []FailureReport
 }
 
 // AblationRow is one parameter value's outcome.
@@ -123,19 +138,30 @@ type AblationRow struct {
 // AblateCircuitsPerPort sweeps the simultaneous-circuit storage that the
 // paper fixes at five entries per input port ("big enough to reduce failed
 // circuits due to lack of storage but small enough to minimize area").
-func AblateCircuitsPerPort(c config.Chip, values []int, ops int64) *Ablation {
+func AblateCircuitsPerPort(c config.Chip, values []int, ops int64, pol Policy) *Ablation {
 	ab := &Ablation{Chip: c, Param: "circuits/port"}
+	cl := newCollector(nil, pol)
 	w := workload.Micro()
 	bv, _ := config.ByName("Baseline")
 	bspec := chip.DefaultSpec(c, bv, w)
 	bspec.MeasureOps = ops
-	b := chip.MustRun(bspec)
+	b, ok := cl.run(bspec)
+	if !ok {
+		ab.Failures = cl.take()
+		return ab // no baseline, no ratios worth reporting
+	}
 	for _, n := range values {
+		if cl.halted() {
+			break
+		}
 		opts := core.Options{Mechanism: core.MechComplete, MaxCircuitsPerPort: n, NoAck: true}
 		v := config.Variant{Name: fmt.Sprintf("Complete_%dper", n), Opts: opts}
 		spec := chip.DefaultSpec(c, v, w)
 		spec.MeasureOps = ops
-		r := chip.MustRun(spec)
+		r, ok := cl.run(spec)
+		if !ok {
+			continue
+		}
 		att := float64(r.Circ.CircuitsBuilt + r.Circ.ReserveFailedConflict + r.Circ.ReserveFailedStorage)
 		row := AblationRow{
 			Value:       n,
@@ -149,20 +175,29 @@ func AblateCircuitsPerPort(c config.Chip, values []int, ops int64) *Ablation {
 		}
 		ab.Rows = append(ab.Rows, row)
 	}
+	ab.Failures = cl.take()
 	return ab
 }
 
 // AblateSlack sweeps the slack of timed reservations (the paper's Slack_N
 // family): small slack loses circuits to jitter, large slack occupies
 // ports too long.
-func AblateSlack(c config.Chip, values []int, ops int64) *Ablation {
+func AblateSlack(c config.Chip, values []int, ops int64, pol Policy) *Ablation {
 	ab := &Ablation{Chip: c, Param: "slack/hop"}
+	cl := newCollector(nil, pol)
 	w := workload.Micro()
 	bv, _ := config.ByName("Baseline")
 	bspec := chip.DefaultSpec(c, bv, w)
 	bspec.MeasureOps = ops
-	b := chip.MustRun(bspec)
+	b, ok := cl.run(bspec)
+	if !ok {
+		ab.Failures = cl.take()
+		return ab
+	}
 	for _, s := range values {
+		if cl.halted() {
+			break
+		}
 		opts := core.Options{
 			Mechanism: core.MechComplete, MaxCircuitsPerPort: 5,
 			NoAck: true, Timed: true, SlackPerHop: s,
@@ -170,7 +205,10 @@ func AblateSlack(c config.Chip, values []int, ops int64) *Ablation {
 		v := config.Variant{Name: fmt.Sprintf("Slack_%d", s), Opts: opts}
 		spec := chip.DefaultSpec(c, v, w)
 		spec.MeasureOps = ops
-		r := chip.MustRun(spec)
+		r, ok := cl.run(spec)
+		if !ok {
+			continue
+		}
 		att := float64(r.Circ.CircuitsBuilt + r.Circ.ReserveFailedConflict + r.Circ.ReserveFailedStorage)
 		row := AblationRow{
 			Value:       s,
@@ -184,6 +222,7 @@ func AblateSlack(c config.Chip, values []int, ops int64) *Ablation {
 		}
 		ab.Rows = append(ab.Rows, row)
 	}
+	ab.Failures = cl.take()
 	return ab
 }
 
@@ -194,8 +233,9 @@ func AblateSlack(c config.Chip, values []int, ops int64) *Ablation {
 // Compare contrasts Reactive Circuits with the related-work alternatives:
 // speculative single-cycle routers and probe-based (Déjà-Vu) setup.
 type Compare struct {
-	Chip config.Chip
-	Rows []CompareRow
+	Chip     config.Chip
+	Rows     []CompareRow
+	Failures []FailureReport
 }
 
 // CompareRow is one design's headline metrics at light load plus its
@@ -211,18 +251,25 @@ type CompareRow struct {
 }
 
 // CompareRun evaluates the comparator designs on one workload.
-func CompareRun(c config.Chip, ops int64) *Compare {
+func CompareRun(c config.Chip, ops int64, pol Policy) *Compare {
 	cmp := &Compare{Chip: c}
+	cl := newCollector(nil, pol)
 	light := workload.Micro()
 	heavy := light.Scaled(8)
 	var base, baseHeavy *chip.Results
 	for _, v := range config.Comparators() {
+		if cl.halted() {
+			break
+		}
 		spec := chip.DefaultSpec(c, v, light)
 		spec.MeasureOps = ops
-		r := chip.MustRun(spec)
+		r, ok := cl.run(spec)
+		if !ok {
+			continue
+		}
 		hspec := chip.DefaultSpec(c, v, heavy)
 		hspec.MeasureOps = ops
-		hr := chip.MustRun(hspec)
+		hr, _ := cl.run(hspec)
 		if v.Name == "Baseline" {
 			base, baseHeavy = r, hr
 		}
@@ -233,11 +280,14 @@ func CompareRun(c config.Chip, ops int64) *Compare {
 		}
 		if base != nil {
 			row.Speedup = r.Speedup(base)
-			row.SpeedupHeavy = hr.Speedup(baseHeavy)
 			row.EnergyRatio = r.Energy.Total() / base.Energy.Total()
+		}
+		if hr != nil && baseHeavy != nil {
+			row.SpeedupHeavy = hr.Speedup(baseHeavy)
 		}
 		cmp.Rows = append(cmp.Rows, row)
 	}
+	cmp.Failures = cl.take()
 	return cmp
 }
 
@@ -254,7 +304,8 @@ func (cmp *Compare) Format() string {
 		"speculative routers [16-19] are modelled WITHOUT their complexity/frequency penalty\n" +
 		"(an optimistic bound) and only win while uncontended; probe setup at reply time [7]\n" +
 		"cannot hide the traversal when the L2 answers in 7 cycles; reserving with the\n" +
-		"request gets circuit latency plus the area and NoAck benefits\n"
+		"request gets circuit latency plus the area and NoAck benefits\n" +
+		FormatFailures(cmp.Failures)
 }
 
 // ---------------------------------------------------------------------------
@@ -264,7 +315,8 @@ func (cmp *Compare) Format() string {
 
 // ScaleSweep measures the mechanism across chip sizes.
 type ScaleSweep struct {
-	Rows []ScaleRow
+	Rows     []ScaleRow
+	Failures []FailureReport
 }
 
 // ScaleRow is one chip size's outcome for Complete_NoAck and the timed
@@ -281,12 +333,16 @@ func scaleVariants() []string { return []string{"Complete_NoAck", "SlackDelay_1_
 // ScaleSweepRun runs the micro workload across square meshes. Sizes above
 // 64 nodes are rejected: the directory's sharer vector is one machine word,
 // matching the paper's largest chip.
-func ScaleSweepRun(dims []int, ops int64) *ScaleSweep {
+func ScaleSweepRun(dims []int, ops int64, pol Policy) *ScaleSweep {
 	ss := &ScaleSweep{}
+	cl := newCollector(nil, pol)
 	w := workload.Micro()
 	for _, d := range dims {
 		if d*d > 64 {
 			panic("exp: chips beyond 64 nodes exceed the directory's sharer vector")
+		}
+		if cl.halted() {
+			break
 		}
 		c := config.Chip{Name: fmt.Sprintf("%d-core", d*d), Width: d, Height: d, MCs: 4}
 		row := ScaleRow{
@@ -298,12 +354,18 @@ func ScaleSweepRun(dims []int, ops int64) *ScaleSweep {
 		bv, _ := config.ByName("Baseline")
 		bspec := chip.DefaultSpec(c, bv, w)
 		bspec.MeasureOps = ops
-		b := chip.MustRun(bspec)
+		b, ok := cl.run(bspec)
+		if !ok {
+			continue
+		}
 		for _, name := range scaleVariants() {
 			v, _ := config.ByName(name)
 			spec := chip.DefaultSpec(c, v, w)
 			spec.MeasureOps = ops
-			r := chip.MustRun(spec)
+			r, ok := cl.run(spec)
+			if !ok {
+				continue
+			}
 			row.Circuit[name] = r.Circ.OutcomeFraction(core.OutcomeCircuit)
 			att := float64(r.Circ.CircuitsBuilt + r.Circ.ReserveFailedConflict + r.Circ.ReserveFailedStorage)
 			if att > 0 {
@@ -313,6 +375,7 @@ func ScaleSweepRun(dims []int, ops int64) *ScaleSweep {
 		}
 		ss.Rows = append(ss.Rows, row)
 	}
+	ss.Failures = cl.take()
 	return ss
 }
 
@@ -333,7 +396,8 @@ func (ss *ScaleSweep) Format() string {
 	return "Scalability: circuit construction vs chip size\n" + tb.String() +
 		"the paper (Section 5.2/5.5): bigger chips mean longer paths and more conflicts,\n" +
 		"so fewer circuits build; timed reservations are 'very useful to guarantee the\n" +
-		"scalability of the mechanism'\n"
+		"scalability of the mechanism'\n" +
+		FormatFailures(ss.Failures)
 }
 
 // Format renders the ablation.
@@ -344,5 +408,6 @@ func (ab *Ablation) Format() string {
 			pct(r.ConflictFailed), pct(r.Undone),
 			fmt.Sprintf("%+.2f%%", (r.Speedup-1)*100), pct2(r.AreaSavings))
 	}
-	return fmt.Sprintf("Ablation (%s, %s)\n%s", ab.Chip.Name, ab.Param, tb.String())
+	return fmt.Sprintf("Ablation (%s, %s)\n%s", ab.Chip.Name, ab.Param, tb.String()) +
+		FormatFailures(ab.Failures)
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func TestLoadSweepShape(t *testing.T) {
-	ls := LoadSweepRun(config.Chip16(), []float64{1, 8}, 2500)
+	ls := LoadSweepRun(config.Chip16(), []float64{1, 8}, 2500, DefaultPolicy())
 	if len(ls.Rows) != 2 {
 		t.Fatalf("%d rows", len(ls.Rows))
 	}
@@ -33,7 +33,7 @@ func TestLoadSweepShape(t *testing.T) {
 }
 
 func TestAblateCircuitsPerPortShape(t *testing.T) {
-	ab := AblateCircuitsPerPort(config.Chip16(), []int{1, 5}, 2500)
+	ab := AblateCircuitsPerPort(config.Chip16(), []int{1, 5}, 2500, DefaultPolicy())
 	if len(ab.Rows) != 2 {
 		t.Fatalf("%d rows", len(ab.Rows))
 	}
@@ -54,7 +54,7 @@ func TestAblateCircuitsPerPortShape(t *testing.T) {
 }
 
 func TestAblateSlackShape(t *testing.T) {
-	ab := AblateSlack(config.Chip16(), []int{0, 1, 8}, 2500)
+	ab := AblateSlack(config.Chip16(), []int{0, 1, 8}, 2500, DefaultPolicy())
 	if len(ab.Rows) != 3 {
 		t.Fatalf("%d rows", len(ab.Rows))
 	}
@@ -71,7 +71,7 @@ func TestAblateSlackShape(t *testing.T) {
 }
 
 func TestScaleSweepShape(t *testing.T) {
-	ss := ScaleSweepRun([]int{4, 8}, 2500)
+	ss := ScaleSweepRun([]int{4, 8}, 2500, DefaultPolicy())
 	small, big := ss.Rows[0], ss.Rows[1]
 	if small.Nodes != 16 || big.Nodes != 64 {
 		t.Fatalf("sizes %d/%d", small.Nodes, big.Nodes)
@@ -91,7 +91,7 @@ func TestScaleSweepShape(t *testing.T) {
 }
 
 func TestTailRun(t *testing.T) {
-	tl := TailRun(config.Chip16(), 2500)
+	tl := TailRun(config.Chip16(), 2500, DefaultPolicy())
 	if len(tl.Rows) == 0 {
 		t.Fatal("no rows")
 	}
@@ -116,7 +116,7 @@ func TestTailRun(t *testing.T) {
 }
 
 func TestCIRun(t *testing.T) {
-	ci := CIRun(config.Chip16(), []string{"Complete_NoAck"}, 2, 2000)
+	ci := CIRun(config.Chip16(), []string{"Complete_NoAck"}, 2, 2000, DefaultPolicy())
 	if len(ci.Rows) != 1 {
 		t.Fatalf("%d rows", len(ci.Rows))
 	}
@@ -133,7 +133,7 @@ func TestCIRun(t *testing.T) {
 }
 
 func TestCompareRun(t *testing.T) {
-	cmp := CompareRun(config.Chip16(), 2000)
+	cmp := CompareRun(config.Chip16(), 2000, DefaultPolicy())
 	if len(cmp.Rows) != 5 {
 		t.Fatalf("%d rows", len(cmp.Rows))
 	}
@@ -161,5 +161,5 @@ func TestScaleSweepRejectsHugeChips(t *testing.T) {
 			t.Fatal("chips beyond the sharer vector must be rejected")
 		}
 	}()
-	ScaleSweepRun([]int{9}, 100)
+	ScaleSweepRun([]int{9}, 100, DefaultPolicy())
 }

@@ -1,0 +1,183 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"reactivenoc/internal/chip"
+	"reactivenoc/internal/fault"
+)
+
+// Policy controls how an experiment responds to individual run failures.
+// The zero value fails fast with no retries; DefaultPolicy is what the
+// production sweeps want.
+type Policy struct {
+	// FailFast stops scheduling new runs after the first failure; already
+	// started runs still finish and their results are kept.
+	FailFast bool
+	// Retry re-runs a failed spec once with an alternate seed, to
+	// distinguish deterministic bugs from seed-sensitive ones. A retry
+	// that succeeds contributes its results in place of the failed run.
+	Retry bool
+	// Timeout is the per-run wall-clock cap (0 = none).
+	Timeout time.Duration
+	// FaultFor, when non-nil, returns the fault plan to arm for a
+	// (variant, workload) run — the chaos tests' poisoning seam.
+	FaultFor func(variant, workload string) *fault.Plan
+}
+
+// DefaultPolicy keeps going past failures and retries each once.
+func DefaultPolicy() Policy { return Policy{Retry: true} }
+
+// retrySeed derives the alternate seed of a retried run.
+func retrySeed(seed uint64) uint64 { return seed ^ 0x9E3779B97F4A7C15 }
+
+// FailureReport records one failed run of an experiment: the spec that
+// died, the structured error, and the outcome of the retry.
+type FailureReport struct {
+	Variant  string
+	Workload string
+	Seed     uint64
+	Err      *chip.RunError
+	// Retried reports whether the spec was re-run under RetrySeed. A nil
+	// RetryErr then means the retry succeeded (the failure is
+	// seed-sensitive) and its results stand in for the failed run.
+	Retried   bool
+	RetrySeed uint64
+	RetryErr  *chip.RunError
+}
+
+// Deterministic reports whether the failure reproduced under a different
+// seed — the signature of a genuine bug rather than a spec-sensitive one.
+func (f *FailureReport) Deterministic() bool { return f.Retried && f.RetryErr != nil }
+
+// String renders the report's summary line.
+func (f *FailureReport) String() string {
+	s := f.Err.Error()
+	switch {
+	case f.Deterministic():
+		s += fmt.Sprintf(" [reproduced with seed %d: deterministic]", f.RetrySeed)
+	case f.Retried:
+		s += fmt.Sprintf(" [retry with seed %d succeeded: seed-sensitive]", f.RetrySeed)
+	}
+	return s
+}
+
+// FormatFailures renders a failure summary: a table of the failing specs
+// plus each run's diagnostics. It returns "" when there are no failures.
+func FormatFailures(fs []FailureReport) string {
+	if len(fs) == 0 {
+		return ""
+	}
+	tb := &table{header: []string{"variant", "workload", "seed", "phase", "cycle", "kind", "retry"}}
+	for _, f := range fs {
+		kind := "error"
+		if f.Err.Panicked {
+			kind = "panic"
+		}
+		retry := "-"
+		switch {
+		case f.Deterministic():
+			retry = "reproduced"
+		case f.Retried:
+			retry = "recovered"
+		}
+		tb.add(f.Variant, f.Workload, fmt.Sprintf("%d", f.Seed), f.Err.Phase,
+			fmt.Sprintf("%d", f.Err.Cycle), kind, retry)
+	}
+	out := fmt.Sprintf("%d failed runs\n%s", len(fs), tb.String())
+	for _, f := range fs {
+		out += "\n" + f.String() + "\n"
+	}
+	return out
+}
+
+// collector funnels every simulation run of an experiment through the
+// error-aware path: a failure becomes a FailureReport (optionally retried
+// under an alternate seed), fail-fast latches further scheduling off, and
+// the experiment completes with partial results.
+type collector struct {
+	ctx context.Context
+	pol Policy
+
+	mu       sync.Mutex
+	failures []FailureReport
+	stopped  bool
+}
+
+func newCollector(ctx context.Context, pol Policy) *collector {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &collector{ctx: ctx, pol: pol}
+}
+
+// halted reports whether fail-fast or cancellation stopped the experiment.
+func (cl *collector) halted() bool {
+	if cl.ctx.Err() != nil {
+		return true
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.stopped
+}
+
+// asRunError normalizes err to a *RunError carrying the spec fingerprint.
+func asRunError(err error, spec chip.Spec) *chip.RunError {
+	if re := chip.AsRunError(err); re != nil {
+		return re
+	}
+	return &chip.RunError{
+		Phase: "setup", Chip: spec.Chip.Name, Variant: spec.Variant.Name,
+		Workload: spec.Workload.Name, Seed: spec.Seed, Msg: err.Error(),
+	}
+}
+
+// run executes spec under the policy. ok=false means no usable result; the
+// failure (if any) has been recorded.
+func (cl *collector) run(spec chip.Spec) (*chip.Results, bool) {
+	if cl.halted() {
+		return nil, false
+	}
+	if cl.pol.Timeout > 0 {
+		spec.Timeout = cl.pol.Timeout
+	}
+	if cl.pol.FaultFor != nil {
+		spec.Fault = cl.pol.FaultFor(spec.Variant.Name, spec.Workload.Name)
+	}
+	r, err := chip.RunCtx(cl.ctx, spec)
+	if err == nil {
+		return r, true
+	}
+	rep := FailureReport{
+		Variant: spec.Variant.Name, Workload: spec.Workload.Name,
+		Seed: spec.Seed, Err: asRunError(err, spec),
+	}
+	var res *chip.Results
+	if cl.pol.Retry && cl.ctx.Err() == nil {
+		retry := spec
+		retry.Seed = retrySeed(spec.Seed)
+		rep.Retried, rep.RetrySeed = true, retry.Seed
+		if r2, err2 := chip.RunCtx(cl.ctx, retry); err2 == nil {
+			res = r2
+		} else {
+			rep.RetryErr = asRunError(err2, retry)
+		}
+	}
+	cl.mu.Lock()
+	cl.failures = append(cl.failures, rep)
+	if cl.pol.FailFast {
+		cl.stopped = true
+	}
+	cl.mu.Unlock()
+	return res, res != nil
+}
+
+// take returns the accumulated failure reports.
+func (cl *collector) take() []FailureReport {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.failures
+}

@@ -27,10 +27,15 @@ type Table1 struct {
 	EligibleFrac float64 // share of replies that can ride circuits
 }
 
-// Table1From computes the mix from a sweep's baseline runs.
-func Table1From(s *Sweep) *Table1 {
+// Table1From computes the mix from a sweep's baseline runs. It fails when
+// the sweep carries no baseline variant to aggregate.
+func Table1From(s *Sweep) (*Table1, error) {
+	base, err := s.Baseline()
+	if err != nil {
+		return nil, err
+	}
 	agg := coherence.MsgStats{}
-	for _, r := range s.Baseline() {
+	for _, r := range base {
 		for t, n := range r.Msgs.Network {
 			agg.Network[t] += n
 		}
@@ -38,7 +43,7 @@ func Table1From(s *Sweep) *Table1 {
 	total, reqs := agg.Totals()
 	t1 := &Table1{Total: total, ByType: map[string]float64{}}
 	if total == 0 {
-		return t1
+		return t1, nil
 	}
 	t1.RequestFrac = float64(reqs) / float64(total)
 	t1.ReplyFrac = 1 - t1.RequestFrac
@@ -59,7 +64,7 @@ func Table1From(s *Sweep) *Table1 {
 	if replies > 0 {
 		t1.EligibleFrac = float64(eligible) / float64(replies)
 	}
-	return t1
+	return t1, nil
 }
 
 // Format renders the table with the paper's reference values.
@@ -341,10 +346,14 @@ type Fig8 struct {
 }
 
 // Fig8From computes per-app normalized energy, then averages.
-func Fig8From(s *Sweep) *Fig8 {
-	return &Fig8{Chip: s.Chip.Name, Rows: ratioRows(s, func(r, b *chip.Results) float64 {
+func Fig8From(s *Sweep) (*Fig8, error) {
+	rows, err := ratioRows(s, func(r, b *chip.Results) float64 {
 		return r.Energy.Total() / b.Energy.Total()
-	})}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8{Chip: s.Chip.Name, Rows: rows}, nil
 }
 
 // Fig9 is speedup per variant.
@@ -354,15 +363,22 @@ type Fig9 struct {
 }
 
 // Fig9From computes per-app speedups, then averages.
-func Fig9From(s *Sweep) *Fig9 {
-	return &Fig9{Chip: s.Chip.Name, Rows: ratioRows(s, func(r, b *chip.Results) float64 {
+func Fig9From(s *Sweep) (*Fig9, error) {
+	rows, err := ratioRows(s, func(r, b *chip.Results) float64 {
 		return r.Speedup(b)
-	})}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9{Chip: s.Chip.Name, Rows: rows}, nil
 }
 
 // ratioRows folds per-app ratios for every non-baseline variant.
-func ratioRows(s *Sweep, f func(r, b *chip.Results) float64) []RatioRow {
-	base := s.Baseline()
+func ratioRows(s *Sweep, f func(r, b *chip.Results) float64) ([]RatioRow, error) {
+	base, err := s.Baseline()
+	if err != nil {
+		return nil, err
+	}
 	var rows []RatioRow
 	for _, v := range s.Variants {
 		if v.Name == "Baseline" {
@@ -380,6 +396,11 @@ func ratioRows(s *Sweep, f func(r, b *chip.Results) float64) []RatioRow {
 			}
 			sample.Add(f(r, b))
 		}
+		// A variant with no surviving (variant, baseline) pairs — every run
+		// failed or the sweep halted early — has no ratio to report.
+		if sample.N() == 0 {
+			continue
+		}
 		rows = append(rows, RatioRow{Variant: v.Name, Mean: sample.Mean(), StdErr: sample.StdErr()})
 	}
 	// Preserve the sweep's variant order.
@@ -391,7 +412,7 @@ func ratioRows(s *Sweep, f func(r, b *chip.Results) float64) []RatioRow {
 			}
 		}
 	}
-	return ordered
+	return ordered, nil
 }
 
 // Format renders normalized energy (lower is better).
@@ -427,11 +448,14 @@ type Fig10 struct {
 }
 
 // Fig10From extracts per-app speedups for the given variant.
-func Fig10From(s *Sweep, variant string) *Fig10 {
-	base := s.Baseline()
+func Fig10From(s *Sweep, variant string) (*Fig10, error) {
+	base, err := s.Baseline()
+	if err != nil {
+		return nil, err
+	}
 	res, ok := s.Res[variant]
 	if !ok {
-		panic("exp: variant missing from sweep: " + variant)
+		return nil, fmt.Errorf("exp: variant missing from sweep: %s", variant)
 	}
 	f := &Fig10{Chip: s.Chip.Name, Variant: variant}
 	for _, app := range s.AppNames() {
@@ -439,10 +463,14 @@ func Fig10From(s *Sweep, variant string) *Fig10 {
 		if !ok {
 			continue
 		}
+		b, ok := base[app]
+		if !ok {
+			continue
+		}
 		f.Apps = append(f.Apps, app)
-		f.Speedup = append(f.Speedup, r.Speedup(base[app]))
+		f.Speedup = append(f.Speedup, r.Speedup(b))
 	}
-	return f
+	return f, nil
 }
 
 // Format renders the per-app bars.

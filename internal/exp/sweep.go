@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -25,6 +26,16 @@ type Scale struct {
 	Apps int
 	// Seed feeds the deterministic workload generators.
 	Seed uint64
+	// Workers caps the concurrent runs (0 = runtime.GOMAXPROCS(0)).
+	Workers int
+}
+
+// workerCount resolves the worker cap.
+func (s Scale) workerCount() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // QuickScale keeps benches and smoke runs fast.
@@ -50,19 +61,33 @@ type Sweep struct {
 	Apps     []workload.Profile
 	Scale    Scale
 
-	// Res[variant][app] is that run's measurements.
+	// Res[variant][app] is that run's measurements; failed runs leave
+	// their cell absent and are listed in Failures instead.
 	Res map[string]map[string]*chip.Results
+
+	// Failures records every failed (variant, workload) run: the sweep
+	// completes with partial results instead of crashing.
+	Failures []FailureReport
 }
 
 // RunSweep executes every (variant, workload) pair, in parallel across the
-// machine's cores; each run itself is deterministic.
+// machine's cores; each run itself is deterministic. Failed runs are
+// recorded, retried once under an alternate seed, and survived.
 func RunSweep(c config.Chip, variants []config.Variant, scale Scale) *Sweep {
+	return RunSweepCtx(context.Background(), c, variants, scale, DefaultPolicy())
+}
+
+// RunSweepCtx is RunSweep with cancellation and an explicit failure
+// policy. Cancelling the context stops scheduling new runs; results
+// gathered so far are returned.
+func RunSweepCtx(ctx context.Context, c config.Chip, variants []config.Variant, scale Scale, pol Policy) *Sweep {
 	apps := scale.Workloads()
 	s := &Sweep{Chip: c, Variants: variants, Apps: apps, Scale: scale,
 		Res: map[string]map[string]*chip.Results{}}
 	for _, v := range variants {
 		s.Res[v.Name] = map[string]*chip.Results{}
 	}
+	cl := newCollector(ctx, pol)
 
 	type job struct {
 		v config.Variant
@@ -71,11 +96,7 @@ func RunSweep(c config.Chip, variants []config.Variant, scale Scale) *Sweep {
 	jobs := make(chan job)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	if workers > 8 {
-		workers = 8
-	}
-	for i := 0; i < workers; i++ {
+	for i := 0; i < scale.workerCount(); i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -83,32 +104,41 @@ func RunSweep(c config.Chip, variants []config.Variant, scale Scale) *Sweep {
 				spec := chip.DefaultSpec(c, j.v, j.w)
 				spec.MeasureOps = scale.MeasureOps
 				spec.Seed = scale.Seed
-				r := chip.MustRun(spec)
-				mu.Lock()
-				s.Res[j.v.Name][j.w.Name] = r
-				mu.Unlock()
+				if r, ok := cl.run(spec); ok {
+					mu.Lock()
+					s.Res[j.v.Name][j.w.Name] = r
+					mu.Unlock()
+				}
 			}
 		}()
 	}
+producer:
 	for _, v := range variants {
 		for _, w := range apps {
+			if cl.halted() {
+				break producer
+			}
 			jobs <- job{v: v, w: w}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	s.Failures = cl.take()
 	return s
 }
 
-// Baseline returns the baseline results per app, panicking if the sweep
-// lacks a baseline variant.
-func (s *Sweep) Baseline() map[string]*chip.Results {
+// Baseline returns the baseline results per app; the error reports a sweep
+// that ran without a Baseline variant.
+func (s *Sweep) Baseline() (map[string]*chip.Results, error) {
 	b, ok := s.Res["Baseline"]
 	if !ok {
-		panic("exp: sweep has no Baseline variant")
+		return nil, fmt.Errorf("exp: sweep has no Baseline variant")
 	}
-	return b
+	return b, nil
 }
+
+// FailureSummary renders the sweep's failure reports ("" when clean).
+func (s *Sweep) FailureSummary() string { return FormatFailures(s.Failures) }
 
 // AppNames returns the sweep's workload names in run order.
 func (s *Sweep) AppNames() []string {

@@ -17,8 +17,9 @@ import (
 
 // Tail reports data-reply network-latency percentiles per variant.
 type Tail struct {
-	Chip config.Chip
-	Rows []TailRow
+	Chip     config.Chip
+	Rows     []TailRow
+	Failures []FailureReport
 }
 
 // TailRow is one variant's distribution summary (cycles).
@@ -29,13 +30,20 @@ type TailRow struct {
 }
 
 // TailRun measures the key variants on one workload.
-func TailRun(c config.Chip, ops int64) *Tail {
+func TailRun(c config.Chip, ops int64, pol Policy) *Tail {
 	t := &Tail{Chip: c}
+	cl := newCollector(nil, pol)
 	w := workload.Micro()
 	for _, v := range config.KeyVariants() {
+		if cl.halted() {
+			break
+		}
 		spec := chip.DefaultSpec(c, v, w)
 		spec.MeasureOps = ops
-		r := chip.MustRun(spec)
+		r, ok := cl.run(spec)
+		if !ok {
+			continue
+		}
 		t.Rows = append(t.Rows, TailRow{
 			Variant: v.Name,
 			Mean:    r.Lat.CircuitReplies.Network.Mean(),
@@ -44,6 +52,7 @@ func TailRun(c config.Chip, ops int64) *Tail {
 			P99:     r.Lat.ReplyPercentile(0.99),
 		})
 	}
+	t.Failures = cl.take()
 	return t
 }
 
@@ -54,7 +63,8 @@ func (t *Tail) Format() string {
 		tb.add(r.Variant, fmt.Sprintf("%.1f", r.Mean),
 			fmt.Sprintf("%d", r.P50), fmt.Sprintf("%d", r.P95), fmt.Sprintf("%d", r.P99))
 	}
-	return fmt.Sprintf("Data-reply network latency distribution (%s, cycles)\n%s", t.Chip.Name, tb.String())
+	return fmt.Sprintf("Data-reply network latency distribution (%s, cycles)\n%s", t.Chip.Name, tb.String()) +
+		FormatFailures(t.Failures)
 }
 
 // ---------------------------------------------------------------------------
@@ -65,9 +75,10 @@ func (t *Tail) Format() string {
 // CI reports speedup means with 95% confidence half-widths, measured
 // across (workload x seed) replicas.
 type CI struct {
-	Chip  config.Chip
-	Seeds int
-	Rows  []CIRow
+	Chip     config.Chip
+	Seeds    int
+	Rows     []CIRow
+	Failures []FailureReport
 }
 
 // CIRow is one variant's aggregate.
@@ -80,19 +91,20 @@ type CIRow struct {
 // CIRun measures speedups across seeds for the given variants. Baselines
 // are shared per (workload, seed) replica, and the independent runs are
 // spread across the machine's cores.
-func CIRun(c config.Chip, variants []string, seeds int, ops int64) *CI {
+func CIRun(c config.Chip, variants []string, seeds int, ops int64, pol Policy) *CI {
 	ci := &CI{Chip: c, Seeds: seeds}
+	cl := newCollector(nil, pol)
 	apps := []workload.Profile{workload.Micro(), workload.Multiprogrammed()}
 
 	type key struct {
 		app  string
 		seed uint64
 	}
-	run := func(v config.Variant, w workload.Profile, seed uint64) *chip.Results {
+	run := func(v config.Variant, w workload.Profile, seed uint64) (*chip.Results, bool) {
 		spec := chip.DefaultSpec(c, v, w)
 		spec.MeasureOps = ops
 		spec.Seed = seed
-		return chip.MustRun(spec)
+		return cl.run(spec)
 	}
 
 	var mu sync.Mutex
@@ -114,10 +126,11 @@ func CIRun(c config.Chip, variants []string, seeds int, ops int64) *CI {
 		for seed := uint64(1); seed <= uint64(seeds); seed++ {
 			w, seed := w, seed
 			go1(func() {
-				r := run(bv, w, seed)
-				mu.Lock()
-				baselines[key{w.Name, seed}] = r
-				mu.Unlock()
+				if r, ok := run(bv, w, seed); ok {
+					mu.Lock()
+					baselines[key{w.Name, seed}] = r
+					mu.Unlock()
+				}
 			})
 		}
 	}
@@ -133,9 +146,14 @@ func CIRun(c config.Chip, variants []string, seeds int, ops int64) *CI {
 			for seed := uint64(1); seed <= uint64(seeds); seed++ {
 				i, v, w, seed := i, v, w, seed
 				go1(func() {
-					r := run(v, w, seed)
+					r, ok := run(v, w, seed)
+					if !ok {
+						return
+					}
 					mu.Lock()
-					samples[i].Add(r.Speedup(baselines[key{w.Name, seed}]))
+					if b := baselines[key{w.Name, seed}]; b != nil {
+						samples[i].Add(r.Speedup(b))
+					}
 					mu.Unlock()
 				})
 			}
@@ -146,6 +164,7 @@ func CIRun(c config.Chip, variants []string, seeds int, ops int64) *CI {
 	for i, name := range variants {
 		ci.Rows = append(ci.Rows, CIRow{Variant: name, Mean: samples[i].Mean(), CI95: samples[i].CI95()})
 	}
+	ci.Failures = cl.take()
 	return ci
 }
 
@@ -158,5 +177,6 @@ func (ci *CI) Format() string {
 			fmt.Sprintf("±%.2f%%", r.CI95*100))
 	}
 	return fmt.Sprintf("Speedup confidence (%s, %d seeds x 2 workloads)\n%s", ci.Chip.Name, ci.Seeds, tb.String()) +
-		"paper: margins of error at 95% confidence below 2% (64 cores) and 5% (16 cores)\n"
+		"paper: margins of error at 95% confidence below 2% (64 cores) and 5% (16 cores)\n" +
+		FormatFailures(ci.Failures)
 }

@@ -1,0 +1,149 @@
+// Chaos suite: every fault class the injector can produce must be caught
+// by one of the simulator's detectors — a contained invariant panic, the
+// deadlock watchdog, or the quiescence audits — within a bounded number of
+// cycles, and the failure must surface as an actionable *chip.RunError.
+// A run that absorbs an injected corruption and still reports results
+// would be a silent escape; these tests exist to make that impossible.
+package fault_test
+
+import (
+	"strings"
+	"testing"
+
+	"reactivenoc/internal/chip"
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/fault"
+	"reactivenoc/internal/workload"
+)
+
+// chaosSpec is a short 16-core run with the audits armed, so corruption
+// that survives to quiescence is still caught.
+func chaosSpec(t *testing.T, variant string, w workload.Profile) chip.Spec {
+	t.Helper()
+	v, ok := config.ByName(variant)
+	if !ok {
+		t.Fatalf("unknown variant %s", variant)
+	}
+	spec := chip.DefaultSpec(config.Chip16(), v, w)
+	spec.WarmupOps = 1000
+	spec.MeasureOps = 3000
+	spec.Audit = true
+	return spec
+}
+
+// mustDetect runs the armed spec and asserts the fault was injected AND
+// detected: a structured RunError naming the failing spec, never a clean
+// result carrying corrupted measurements.
+func mustDetect(t *testing.T, spec chip.Spec) *chip.RunError {
+	t.Helper()
+	res, err := chip.Run(spec)
+	if err == nil {
+		if res != nil && len(res.Faults) > 0 {
+			t.Fatalf("silent escape: %d injected %v faults produced a clean result",
+				len(res.Faults), spec.Fault.Class)
+		}
+		t.Fatalf("%v fault never fired: tune the plan (seed/count/workload)", spec.Fault.Class)
+	}
+	re := chip.AsRunError(err)
+	if re == nil {
+		t.Fatalf("error is not a *chip.RunError: %v", err)
+	}
+	if len(re.Faults) == 0 {
+		t.Fatalf("run failed but the fault log is empty: %v", re)
+	}
+	if re.Phase == "" || re.Msg == "" {
+		t.Fatalf("failure lacks phase/message: %+v", re)
+	}
+	if !strings.Contains(re.Fingerprint(), spec.Chip.Name) ||
+		!strings.Contains(re.Fingerprint(), spec.Variant.Name) {
+		t.Fatalf("fingerprint %q does not name the failing spec", re.Fingerprint())
+	}
+	return re
+}
+
+func TestChaosFlipBuiltBit(t *testing.T) {
+	spec := chaosSpec(t, "Complete_NoAck", workload.Micro())
+	spec.Fault = &fault.Plan{Class: fault.FlipBuiltBit}
+	re := mustDetect(t, spec)
+	if re.Faults[0].Class != fault.FlipBuiltBit {
+		t.Fatalf("wrong fault logged: %v", re.Faults[0])
+	}
+}
+
+func TestChaosDropUndoToken(t *testing.T) {
+	// Scaled-up traffic makes reservation conflicts (and so undo walks)
+	// frequent enough that one token can be swallowed mid-walk.
+	spec := chaosSpec(t, "Complete_NoAck", workload.Micro().Scaled(8))
+	spec.Fault = &fault.Plan{Class: fault.DropUndoToken}
+	re := mustDetect(t, spec)
+	if re.Phase != "audit" && !re.Panicked {
+		t.Logf("caught by %s phase: %s", re.Phase, re.Msg)
+	}
+}
+
+func TestChaosTruncateWindow(t *testing.T) {
+	spec := chaosSpec(t, "SlackDelay_1_NoAck", workload.Micro())
+	spec.Fault = &fault.Plan{Class: fault.TruncateWindow, Count: 2}
+	mustDetect(t, spec)
+}
+
+func TestChaosWithholdCredit(t *testing.T) {
+	// Credit conservation is variant-independent: even the circuit-free
+	// baseline must notice a vanished credit at quiescence.
+	spec := chaosSpec(t, "Baseline", workload.Micro())
+	spec.Fault = &fault.Plan{Class: fault.WithholdCredit}
+	re := mustDetect(t, spec)
+	if re.Phase != "audit" {
+		t.Logf("withheld credit caught earlier than the audit: %s/%s", re.Phase, re.Msg)
+	}
+}
+
+func TestChaosStallLink(t *testing.T) {
+	spec := chaosSpec(t, "Complete_NoAck", workload.Micro())
+	spec.Fault = &fault.Plan{Class: fault.StallLink, After: 2000}
+	spec.WatchdogStall = 3000 // don't wait the production 50k cycles
+	re := mustDetect(t, spec)
+	if !strings.Contains(re.Msg, "no progress") && !strings.Contains(re.Msg, "did not finish") {
+		t.Fatalf("stalled link not caught by the watchdog: %s", re.Msg)
+	}
+	if re.Diag == "" {
+		t.Fatal("watchdog failure lacks the network state dump")
+	}
+}
+
+// TestChaosEveryClassDetected sweeps the whole enumeration so a future
+// class cannot be added without a detection story.
+func TestChaosEveryClassDetected(t *testing.T) {
+	plans := map[fault.Class]chip.Spec{}
+	for c := fault.Class(0); c < fault.NumClasses; c++ {
+		var spec chip.Spec
+		switch c {
+		case fault.FlipBuiltBit:
+			spec = chaosSpec(t, "Complete_NoAck", workload.Micro())
+			spec.Fault = &fault.Plan{Class: c}
+		case fault.DropUndoToken:
+			spec = chaosSpec(t, "Complete_NoAck", workload.Micro().Scaled(8))
+			spec.Fault = &fault.Plan{Class: c}
+		case fault.TruncateWindow:
+			spec = chaosSpec(t, "SlackDelay_1_NoAck", workload.Micro())
+			spec.Fault = &fault.Plan{Class: c, Count: 2}
+		case fault.WithholdCredit:
+			spec = chaosSpec(t, "Baseline", workload.Micro())
+			spec.Fault = &fault.Plan{Class: c}
+		case fault.StallLink:
+			spec = chaosSpec(t, "Complete_NoAck", workload.Micro())
+			spec.Fault = &fault.Plan{Class: c, After: 2000}
+			spec.WatchdogStall = 3000
+		default:
+			t.Fatalf("fault class %v has no chaos scenario: add one", c)
+		}
+		plans[c] = spec
+	}
+	for c, spec := range plans {
+		c, spec := c, spec
+		t.Run(c.String(), func(t *testing.T) {
+			t.Parallel()
+			mustDetect(t, spec)
+		})
+	}
+}

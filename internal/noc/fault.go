@@ -1,0 +1,34 @@
+package noc
+
+import (
+	"reactivenoc/internal/mesh"
+	"reactivenoc/internal/sim"
+)
+
+// FaultHook is the seam a deterministic fault injector (internal/fault)
+// plugs into the fabric. Each method is consulted at the exact point the
+// corresponding hardware event would happen and decides whether to corrupt
+// it; a nil hook — the normal case — costs one branch per site. The hook
+// must be deterministic for the run to stay reproducible.
+type FaultHook interface {
+	// DropUndo reports whether the circuit-undo token arriving at router
+	// id should vanish instead of being processed and forwarded, stranding
+	// the rest of the teardown walk.
+	DropUndo(id mesh.NodeID, tok *UndoToken, now sim.Cycle) bool
+	// WithholdCredit reports whether the buffer credit router id is about
+	// to return upstream through input port in should be withheld,
+	// breaking credit conservation.
+	WithholdCredit(id mesh.NodeID, in mesh.Dir, now sim.Cycle) bool
+	// StallFlit returns extra wire cycles for the flit router id is about
+	// to send through output port out (0 = no fault). Links deliver in
+	// FIFO order, so one large delay stalls everything behind it.
+	StallFlit(id mesh.NodeID, out mesh.Dir, now sim.Cycle) sim.Cycle
+}
+
+// SetFaultHook arms (or, with nil, disarms) a fault injector on every
+// router in the network.
+func (n *Network) SetFaultHook(h FaultHook) {
+	for _, r := range n.routers {
+		r.fault = h
+	}
+}

@@ -29,13 +29,18 @@ type linkSlot struct {
 
 // Send puts f on the wire during cycle now. It panics if the link is driven
 // twice in one cycle, which would indicate an allocator bug.
-func (l *Link) Send(f *Flit, now sim.Cycle) {
+func (l *Link) Send(f *Flit, now sim.Cycle) { l.SendDelayed(f, now, 0) }
+
+// SendDelayed puts f on the wire with extra cycles of traversal delay on
+// top of the link latency — the fault injector's link-stall seam. Recv pops
+// in FIFO order, so a delayed flit also holds back everything sent after it.
+func (l *Link) SendDelayed(f *Flit, now sim.Cycle, extra sim.Cycle) {
 	if l.hasSent && l.lastSend == now {
 		panic(fmt.Sprintf("noc: link driven twice in cycle %d", now))
 	}
 	l.hasSent = true
 	l.lastSend = now
-	l.q = append(l.q, linkSlot{f: f, readyAt: now + linkDelay})
+	l.q = append(l.q, linkSlot{f: f, readyAt: now + linkDelay + extra})
 }
 
 // Recv returns the flit that completes traversal at cycle now, or nil.

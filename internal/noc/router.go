@@ -100,6 +100,7 @@ type Router struct {
 	cfg     *NetConfig
 	handler CircuitHandler
 	ev      *PowerEvents
+	fault   FaultHook
 
 	in  [mesh.NumDirs]*inputPort
 	out [mesh.NumDirs]*outputPort
@@ -212,7 +213,11 @@ func (r *Router) recvCredits(now sim.Cycle) {
 		}
 		for _, c := range op.credit.Recv(now) {
 			if c.UndoCircuit != nil && r.handler != nil {
-				if fwd, ok := r.handler.OnUndo(r.id, c.UndoCircuit, d, now); ok && fwd != mesh.Local {
+				if r.fault != nil && r.fault.DropUndo(r.id, c.UndoCircuit, now) {
+					// Injected fault: the token vanishes and the teardown
+					// walk ends here. A buffer credit sharing the wire is
+					// still honoured below.
+				} else if fwd, ok := r.handler.OnUndo(r.id, c.UndoCircuit, d, now); ok && fwd != mesh.Local {
 					r.SendUndoCredit(fwd, c.UndoCircuit, now)
 				}
 			}
@@ -381,18 +386,12 @@ func (r *Router) stage3ST(now sim.Cycle) {
 		p.occupancy--
 		r.ev.BufReads++
 		f.VC = vc.outVC
-		op.link.Send(f, now)
-		r.flitsOut[d]++
-		r.ev.XbarTraversals++
-		if d != mesh.Local {
-			r.ev.LinkFlits++
-		}
+		r.sendFlit(op, d, f, now)
 		if buffered {
 			op.credits[g.vn][vc.outVC]--
 		}
 		if p.credit != nil {
-			p.credit.Send(Credit{VN: g.vn, VC: g.vc}, now)
-			r.ev.CreditsSent++
+			r.returnCredit(p, Credit{VN: g.vn, VC: g.vc}, g.in, now)
 		}
 		usedIn[g.in] = true
 		usedOut[d] = true
@@ -454,20 +453,14 @@ func (r *Router) runBypass(usedIn, usedOut *[mesh.NumDirs]bool, outUser *[mesh.N
 		outUser[e.out] = e.f
 		e.f.VC = e.outVC
 		e.f.OnCircuit = !e.spec
-		op.link.Send(e.f, now)
-		r.flitsOut[e.out]++
-		r.ev.XbarTraversals++
-		if e.out != mesh.Local {
-			r.ev.LinkFlits++
-		}
+		r.sendFlit(op, e.out, e.f, now)
 		if needCredit {
 			op.credits[e.vn][e.outVC]--
 		}
 		// The flit left the input stage: return the slot it occupied
 		// upstream (unless it rode the unbuffered circuit VC).
 		if p.credit != nil && r.cfg.VCBuffered(e.vn, e.arrVC) {
-			p.credit.Send(Credit{VN: e.vn, VC: e.arrVC}, now)
-			r.ev.CreditsSent++
+			r.returnCredit(p, Credit{VN: e.vn, VC: e.arrVC}, d, now)
 		}
 		if e.f.Tail {
 			if e.spec {
@@ -640,6 +633,31 @@ func (r *Router) stage3SAAlloc(now sim.Cycle) {
 		r.grants[o] = grant{valid: true, in: in, vn: w.vn, vc: w.vc}
 		r.ev.SAActivity++
 	}
+}
+
+// sendFlit puts f on output port op's link and counts the traversal,
+// honouring an armed link-stall fault.
+func (r *Router) sendFlit(op *outputPort, out mesh.Dir, f *Flit, now sim.Cycle) {
+	var extra sim.Cycle
+	if r.fault != nil {
+		extra = r.fault.StallFlit(r.id, out, now)
+	}
+	op.link.SendDelayed(f, now, extra)
+	r.flitsOut[out]++
+	r.ev.XbarTraversals++
+	if out != mesh.Local {
+		r.ev.LinkFlits++
+	}
+}
+
+// returnCredit sends a buffer credit upstream through input port p,
+// honouring an armed credit-withholding fault.
+func (r *Router) returnCredit(p *inputPort, c Credit, in mesh.Dir, now sim.Cycle) {
+	if r.fault != nil && r.fault.WithholdCredit(r.id, in, now) {
+		return // injected fault: the slot is never returned upstream
+	}
+	p.credit.Send(c, now)
+	r.ev.CreditsSent++
 }
 
 // busy reports whether any flit is buffered, latched, or mid-pipeline in
