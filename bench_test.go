@@ -204,8 +204,19 @@ func BenchmarkScalability(b *testing.B) {
 // Microbenchmarks of the substrates.
 // ---------------------------------------------------------------------------
 
+// reportCycleRate attaches the host-throughput metrics every simulation
+// benchmark quotes: simulated cycles per wall-clock second and its inverse.
+func reportCycleRate(b *testing.B, simCycles int64) {
+	secs := b.Elapsed().Seconds()
+	if secs > 0 && simCycles > 0 {
+		b.ReportMetric(float64(simCycles)/secs, "sim_cycles/sec")
+		b.ReportMetric(secs*1e9/float64(simCycles), "ns/sim_cycle")
+	}
+}
+
 // BenchmarkNetworkCycle measures the raw simulation rate of an idle-ish
-// 64-router mesh carrying light random traffic.
+// 64-router mesh carrying light random traffic, with every router and NI
+// activity-tracked — the low-load regime the quiescence scheduler targets.
 func BenchmarkNetworkCycle(b *testing.B) {
 	m := mesh.New(8, 8)
 	net := noc.NewNetwork(noc.BaselineConfig(m), nil, nil)
@@ -214,7 +225,7 @@ func BenchmarkNetworkCycle(b *testing.B) {
 	}
 	rng := sim.NewRNG(1)
 	kernel := sim.NewKernel()
-	kernel.Register(net)
+	net.Register(kernel)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i%25 == 0 {
@@ -224,6 +235,35 @@ func BenchmarkNetworkCycle(b *testing.B) {
 		}
 		kernel.Step()
 	}
+	reportCycleRate(b, kernel.Now())
+}
+
+// BenchmarkKernelStep isolates the scheduler's per-cycle overhead on a
+// fully quiescent 128-component mesh: sparse mode pays only the active-set
+// scan, dense mode pays a no-op Tick per component — the gap is what
+// activity tracking buys before any simulation work happens.
+func BenchmarkKernelStep(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		dense bool
+	}{{"sparse", false}, {"dense", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := mesh.New(8, 8)
+			net := noc.NewNetwork(noc.BaselineConfig(m), nil, nil)
+			for id := mesh.NodeID(0); int(id) < m.Nodes(); id++ {
+				net.NI(id).SetReceiver(func(*noc.Message, sim.Cycle) {})
+			}
+			kernel := sim.NewKernel()
+			kernel.SetDense(mode.dense)
+			net.Register(kernel)
+			kernel.Run(4) // let the initial active flags settle
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernel.Step()
+			}
+			reportCycleRate(b, int64(b.N))
+		})
+	}
 }
 
 // BenchmarkChipRun measures a full 16-core end-to-end run.
@@ -231,12 +271,15 @@ func BenchmarkChipRun(b *testing.B) {
 	c := config.Chip16()
 	v, _ := config.ByName("Complete_NoAck")
 	w := workload.Micro()
+	var simCycles int64
 	for i := 0; i < b.N; i++ {
 		spec := chip.DefaultSpec(c, v, w)
 		spec.MeasureOps = 3000
 		r := chip.MustRun(spec)
+		simCycles += r.SimCycles
 		b.ReportMetric(float64(r.Cycles), "cycles")
 	}
+	reportCycleRate(b, simCycles)
 }
 
 // BenchmarkCircuitReservation measures the reservation fast path: a

@@ -1,0 +1,49 @@
+// Command goldengen regenerates the determinism fingerprints pinned in
+// internal/chip/golden_test.go: one line per (chip, workload, variant) cell
+// of the golden matrix, in Go composite-literal form ready to paste into
+// the goldenMatrix table.
+//
+// The pinned numbers were captured from the seed (pre-activity-tracking)
+// engine; regenerate them only when simulated behaviour changes on
+// purpose, never to paper over an unexplained diff.
+package main
+
+import (
+	"fmt"
+
+	"reactivenoc/internal/chip"
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/workload"
+)
+
+func main() {
+	for _, c := range []config.Chip{config.Chip16(), config.Chip64()} {
+		for _, wn := range []string{"micro", "canneal"} {
+			w, ok := workload.ByName(wn)
+			if !ok {
+				if wn != "micro" {
+					panic("unknown workload " + wn)
+				}
+				w = workload.Micro()
+			}
+			for _, v := range config.Variants() {
+				spec := chip.DefaultSpec(c, v, w)
+				spec.WarmupOps = 600
+				spec.MeasureOps = 2400
+				spec.Seed = 7
+				r, err := chip.Run(spec)
+				if err != nil {
+					panic(err)
+				}
+				total, reqs := r.Msgs.Totals()
+				fmt.Printf("{%q, %q, %q, %d, %d, %d, %d, %.0f, %d, %.0f, %d, %.0f, %d},\n",
+					c.Name, wn, v.Name,
+					r.Cycles, total, reqs,
+					r.Lat.Requests.Network.N(), r.Lat.Requests.Network.Sum(),
+					r.Lat.CircuitReplies.Network.N(), r.Lat.CircuitReplies.Network.Sum(),
+					r.Lat.OtherReplies.Network.N(), r.Lat.OtherReplies.Network.Sum(),
+					r.Events.LinkFlits)
+			}
+		}
+	}
+}

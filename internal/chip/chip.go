@@ -56,6 +56,15 @@ type Spec struct {
 	// chaos runs; injections are reported in Results.Faults or, when the
 	// corruption is caught, in RunError.Faults.
 	Fault *fault.Plan
+
+	// SampleEvery, when positive, records a metrics-registry snapshot
+	// every SampleEvery cycles of the measured phase (Results.Series):
+	// per-window counter deltas plus end-of-window gauge levels.
+	SampleEvery sim.Cycle
+	// DenseKernel disables the activity tracker, ticking every component
+	// every cycle — the reference scheduling the golden determinism suite
+	// cross-checks against.
+	DenseKernel bool
 }
 
 // DefaultSpec returns a spec with sane defaults for the given chip,
@@ -107,6 +116,17 @@ type Results struct {
 	// paper quotes ("less than four flits every 100 cycles").
 	InjRate float64
 
+	// SimCycles is the total simulated cycle count including warm-up —
+	// the denominator for host-throughput metrics (sim_cycles/sec).
+	SimCycles sim.Cycle
+
+	// Metrics is the final metrics-registry snapshot of the run; Results'
+	// scalar cache fields above are harvested from it.
+	Metrics sim.Snapshot
+	// Series holds the per-window snapshots recorded when
+	// Spec.SampleEvery > 0, with At rebased to the measured-phase start.
+	Series []sim.Snapshot
+
 	// Trace holds the retained lifecycle events when Spec.TraceCap > 0.
 	Trace []trace.Event
 
@@ -150,17 +170,6 @@ const diagTraceCap = 48
 // wall-clock deadline; cancellation latency stays under a millisecond of
 // simulation work.
 const checkEvery = 2048
-
-// coresTicker drives every core each cycle, after the system.
-type coresTicker struct {
-	cores []*cpu.Core
-}
-
-func (ct *coresTicker) Tick(now sim.Cycle) {
-	for _, c := range ct.cores {
-		c.Tick(now)
-	}
-}
 
 // Run executes the spec and returns its measurements.
 func Run(spec Spec) (*Results, error) { return RunCtx(context.Background(), spec) }
@@ -258,7 +267,14 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 		}
 	}
 
+	// doneCores counts done-transitions so the end-of-phase predicate is an
+	// integer compare instead of an O(cores) scan every cycle; sys.Busy()
+	// (which walks the whole machine) only runs in the drain tail after the
+	// last core finishes — exactly when the seed engine's short-circuited
+	// allDone() reached it.
+	doneCores := 0
 	cores := make([]*cpu.Core, n)
+	coreWakers := make([]sim.Waker, n)
 	for i := 0; i < n; i++ {
 		st := spec.Workload.Stream(i, spec.Seed)
 		limit := spec.WarmupOps
@@ -266,11 +282,27 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 			limit = spec.MeasureOps
 		}
 		cores[i] = cpu.New(i, sys.L1s[i], st, limit)
+		cores[i].SetDoneSink(func() { doneCores++ })
 	}
 
+	// Registration order replicates the seed engine's tick order exactly:
+	// the system (routers, NIs, per-tile L1/L2, MCs), then the cores.
 	kernel = sim.NewKernel()
-	kernel.Register(sys)
-	kernel.Register(&coresTicker{cores: cores})
+	kernel.SetDense(spec.DenseKernel)
+	sys.Register(kernel)
+	for i, c := range cores {
+		coreWakers[i] = kernel.Add(c)
+	}
+
+	reg := sim.NewRegistry()
+	sys.DescribeMetrics(reg)
+	for _, c := range cores {
+		c.Describe(reg)
+	}
+	if sys.Mgr != nil {
+		reg.Gauge("circ/open", func() int64 { return sys.Mgr.OpenCircuits(kernel.Now()) })
+	}
+	reg.Gauge("kernel/active", func() int64 { return int64(kernel.ActiveCount()) })
 
 	horizon := spec.Horizon
 	if horizon == 0 {
@@ -285,19 +317,14 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 		wallDeadline = time.Now().Add(spec.Timeout)
 	}
 
-	allDone := func() bool {
-		for _, c := range cores {
-			if !c.Done() {
-				return false
-			}
-		}
-		return !sys.Busy()
-	}
+	allDone := func() bool { return doneCores == n && !sys.Busy() }
 
 	// runPhase advances until every core finishes, with a forward-progress
 	// watchdog: if no operation retires for a long stretch, the phase is
 	// deadlocked and the network state dump is attached to the error. The
-	// context and wall-clock deadline are polled every checkEvery cycles.
+	// context, wall-clock deadline, and watchdog's O(cores) retired sum are
+	// polled every checkEvery cycles.
+	var sampler *sim.Sampler
 	runPhase := func(name string) error {
 		phase = name
 		deadline := kernel.Now() + horizon
@@ -313,16 +340,19 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 				if !wallDeadline.IsZero() && time.Now().After(wallDeadline) {
 					return runErr(fmt.Sprintf("exceeded wall-clock timeout %v", spec.Timeout), false)
 				}
+				var retired int64
+				for _, c := range cores {
+					retired += c.Retired
+				}
+				if retired != lastRetired {
+					lastRetired, lastProgress = retired, kernel.Now()
+				} else if kernel.Now()-lastProgress > stall {
+					return runErr(fmt.Sprintf("no progress for %d cycles (deadlock?)", stall), false)
+				}
 			}
 			kernel.Step()
-			var retired int64
-			for _, c := range cores {
-				retired += c.Retired
-			}
-			if retired != lastRetired {
-				lastRetired, lastProgress = retired, kernel.Now()
-			} else if kernel.Now()-lastProgress > stall {
-				return runErr(fmt.Sprintf("no progress for %d cycles (deadlock?)", stall), false)
+			if sampler != nil {
+				sampler.Poll(kernel.Now())
 			}
 		}
 		if allDone() {
@@ -331,23 +361,32 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 		return runErr(fmt.Sprintf("did not finish within %d cycles", horizon), false)
 	}
 
+	resetCores := func() {
+		doneCores = 0
+		for i, c := range cores {
+			c.ResetStats(spec.MeasureOps)
+			coreWakers[i].Wake()
+		}
+	}
 	if spec.WarmupOps > 0 {
 		if err := runPhase("warm-up"); err != nil {
 			return nil, err
 		}
 		sys.ResetStats()
-		for _, c := range cores {
-			c.ResetStats(spec.MeasureOps)
-		}
+		resetCores()
 	} else {
-		for _, c := range cores {
-			c.ResetStats(spec.MeasureOps)
-		}
+		resetCores()
 	}
 
 	measureStart := kernel.Now()
+	if spec.SampleEvery > 0 {
+		sampler = sim.NewSampler(reg, spec.SampleEvery, measureStart)
+	}
 	if err := runPhase("measured"); err != nil {
 		return nil, err
+	}
+	if sampler != nil {
+		sampler.Flush(kernel.Now())
 	}
 
 	if spec.Audit {
@@ -387,11 +426,20 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 	res.Energy = power.NetworkEnergy(&res.Events, n, spec.Variant.Opts, int64(res.Cycles))
 	res.AreaSavings = power.AreaSavings(n, spec.Variant.Opts)
 
-	for i := 0; i < n; i++ {
-		res.L1Hits += sys.L1s[i].Cache().Hits
-		res.L1Misses += sys.L1s[i].Cache().Misses
-		res.L2Hits += sys.L2s[i].Cache().Hits
-		res.L2Misses += sys.L2s[i].Cache().Misses
+	// The cache-layer scalars come from the registry snapshot: every
+	// controller registered its counters once at construction, replacing
+	// the per-field harvest loop of the original engine.
+	res.SimCycles = kernel.Now()
+	res.Metrics = reg.Snapshot(kernel.Now())
+	res.L1Hits = res.Metrics.Value("l1/hits")
+	res.L1Misses = res.Metrics.Value("l1/misses")
+	res.L2Hits = res.Metrics.Value("l2/hits")
+	res.L2Misses = res.Metrics.Value("l2/misses")
+	if sampler != nil {
+		res.Series = sampler.Samples()
+		for i := range res.Series {
+			res.Series[i].At -= measureStart
+		}
 	}
 	if res.Cycles > 0 {
 		res.InjRate = float64(res.Events.LinkFlits) / float64(res.Cycles) / float64(n)

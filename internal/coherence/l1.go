@@ -32,6 +32,8 @@ type L1Ctrl struct {
 
 	// onDone resumes the core when the outstanding miss completes.
 	onDone func(now sim.Cycle)
+
+	wake sim.Waker
 }
 
 type l1Txn struct {
@@ -89,8 +91,15 @@ func (l *L1Ctrl) issue(now sim.Cycle) {
 }
 
 func (l *L1Ctrl) deliver(msg *noc.Message, now sim.Cycle) {
+	l.wake.Wake()
 	l.q.push(now+L1HitLatency, msg)
 }
+
+// Quiescent reports whether the next Tick is a pure no-op: Tick only
+// drains the access-latency queue, so an empty queue suffices even while a
+// miss or write-back is outstanding — those resolve through deliver, which
+// wakes the controller.
+func (l *L1Ctrl) Quiescent() bool { return l.q.empty() }
 
 // Tick processes messages whose L1 access latency has elapsed.
 func (l *L1Ctrl) Tick(now sim.Cycle) {

@@ -55,6 +55,8 @@ type L2Ctrl struct {
 	// BlockedCycles accumulates (transactions × cycles) of line blocking,
 	// an observability hook for the NoAck effect.
 	BlockedCycles int64
+
+	wake sim.Waker
 }
 
 func newL2(sys *System, id mesh.NodeID) *L2Ctrl {
@@ -75,8 +77,14 @@ func newL2(sys *System, id mesh.NodeID) *L2Ctrl {
 func (l *L2Ctrl) Cache() *cache.Cache { return l.c }
 
 func (l *L2Ctrl) deliver(msg *noc.Message, now sim.Cycle) {
+	l.wake.Wake()
 	l.q.push(now+L2HitLatency, msg)
 }
+
+// Quiescent reports whether the next Tick is a pure no-op. Open
+// transactions keep the bank awake: Tick accrues BlockedCycles for each of
+// them every cycle.
+func (l *L2Ctrl) Quiescent() bool { return l.q.empty() && len(l.txns) == 0 }
 
 // Tick processes due messages and accounts blocked-line time.
 func (l *L2Ctrl) Tick(now sim.Cycle) {

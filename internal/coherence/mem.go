@@ -20,6 +20,8 @@ type MemCtrl struct {
 
 	// Fetches and WriteBacks count serviced operations.
 	Fetches, WriteBacks int64
+
+	wake sim.Waker
 }
 
 func newMC(sys *System, id mesh.NodeID) *MemCtrl {
@@ -30,8 +32,12 @@ func newMC(sys *System, id mesh.NodeID) *MemCtrl {
 func (m *MemCtrl) ID() mesh.NodeID { return m.id }
 
 func (m *MemCtrl) deliver(msg *noc.Message, now sim.Cycle) {
+	m.wake.Wake()
 	m.q.push(now+MemLatency, msg)
 }
+
+// Quiescent reports whether no request is waiting out its memory latency.
+func (m *MemCtrl) Quiescent() bool { return m.q.empty() }
 
 // Tick answers requests whose memory latency has elapsed.
 func (m *MemCtrl) Tick(now sim.Cycle) {

@@ -246,6 +246,52 @@ func (s *System) canEliminateAck(bank, requestor mesh.NodeID, addr cache.Addr, n
 	return true
 }
 
+// Register adds the network and every controller to k as individually
+// activity-tracked components, in the exact order Tick visits them:
+// routers and NIs first, then each tile's L1 and L2 interleaved, then the
+// memory controllers. A system registered this way must not also be ticked
+// monolithically.
+func (s *System) Register(k *sim.Kernel) {
+	s.Net.Register(k)
+	for i := range s.L1s {
+		s.L1s[i].wake = k.Add(s.L1s[i])
+		s.L2s[i].wake = k.Add(s.L2s[i])
+	}
+	for _, mc := range s.MCs {
+		mc.wake = k.Add(mc)
+	}
+}
+
+// DescribeMetrics registers the system's counters and gauges with reg:
+// network power events, per-layer cache counters (same-name registrations
+// sum across tiles), memory-controller operations, and the circuit
+// manager's outcome statistics when the mechanism is enabled.
+func (s *System) DescribeMetrics(reg *sim.Registry) {
+	s.Net.DescribeMetrics(reg)
+	for i := range s.L1s {
+		c1 := s.L1s[i].Cache()
+		reg.Counter("l1/hits", &c1.Hits)
+		reg.Counter("l1/misses", &c1.Misses)
+		reg.Counter("l1/evictions", &c1.Evictions)
+		c2 := s.L2s[i].Cache()
+		reg.Counter("l2/hits", &c2.Hits)
+		reg.Counter("l2/misses", &c2.Misses)
+		reg.Counter("l2/evictions", &c2.Evictions)
+		reg.Counter("l2/blocked_cycles", &s.L2s[i].BlockedCycles)
+	}
+	for _, mc := range s.MCs {
+		reg.Counter("mem/fetches", &mc.Fetches)
+		reg.Counter("mem/writebacks", &mc.WriteBacks)
+	}
+	reg.Gauge("sys/net_msgs", func() int64 {
+		total, _ := s.Msgs.Totals()
+		return total
+	})
+	if s.Mgr != nil {
+		s.Mgr.DescribeMetrics(reg)
+	}
+}
+
 // Tick advances the network and every controller one cycle.
 func (s *System) Tick(now sim.Cycle) {
 	s.Net.Tick(now)

@@ -925,3 +925,29 @@ func minCycle(a, b sim.Cycle) sim.Cycle {
 	}
 	return b
 }
+
+// OpenCircuits returns how many reservations are live across every router
+// table at cycle now — the occupancy level the metrics gauge samples.
+func (mg *Manager) OpenCircuits(now sim.Cycle) int64 {
+	var n int64
+	for _, tb := range mg.tables {
+		for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+			n += int64(tb.activeCount(d, now))
+		}
+	}
+	return n
+}
+
+// DescribeMetrics registers the circuit-construction counters with reg
+// under the circ/ scope. The occupancy gauge needs the current cycle and is
+// registered by the chip layer, which owns the kernel.
+func (mg *Manager) DescribeMetrics(reg *sim.Registry) {
+	reg.Counter("circ/built", &mg.Stats.CircuitsBuilt)
+	reg.Counter("circ/undone", &mg.Stats.CircuitsUndone)
+	reg.Counter("circ/scrounger_rides", &mg.Stats.ScroungerRides)
+	reg.Counter("circ/eliminated_acks", &mg.Stats.EliminatedAcks)
+	reg.Counter("circ/probes", &mg.Stats.ProbesSent)
+	reg.Counter("circ/reserve_failed_storage", &mg.Stats.ReserveFailedStorage)
+	reg.Counter("circ/reserve_failed_conflict", &mg.Stats.ReserveFailedConflict)
+	reg.Counter("circ/waited_for_window", &mg.Stats.WaitedForWindow)
+}

@@ -45,6 +45,11 @@ type Core struct {
 	stalled bool
 	done    bool
 
+	// doneSink fires once when the core retires its last operation; the
+	// chip layer counts completions there instead of scanning every core
+	// every cycle.
+	doneSink func()
+
 	// Retired counts completed operations; Loads/Stores/Misses and
 	// StallCycles describe the memory behaviour; FinishedAt is the cycle
 	// the core retired its last operation.
@@ -67,6 +72,24 @@ func New(id int, l1 *coherence.L1Ctrl, stream Stream, limit int64) *Core {
 // Done reports whether the core has retired its whole stream.
 func (c *Core) Done() bool { return c.done }
 
+// SetDoneSink installs a callback invoked exactly once per done-transition.
+func (c *Core) SetDoneSink(fn func()) { c.doneSink = fn }
+
+// Quiescent reports whether the core's next Tick is a pure no-op. Only a
+// finished core sleeps: a stalled core burns a StallCycles counter every
+// cycle, and a running core retires work.
+func (c *Core) Quiescent() bool { return c.done }
+
+// Describe registers the core's counters with reg under the core/ scope;
+// same-name registrations sum across the chip's cores.
+func (c *Core) Describe(reg *sim.Registry) {
+	reg.Counter("core/retired", &c.Retired)
+	reg.Counter("core/loads", &c.Loads)
+	reg.Counter("core/stores", &c.Stores)
+	reg.Counter("core/misses", &c.Misses)
+	reg.Counter("core/stall_cycles", &c.StallCycles)
+}
+
 // ResetStats zeroes the core's counters after a warm-up phase and extends
 // its retirement budget by limit additional operations.
 func (c *Core) ResetStats(limit int64) {
@@ -85,6 +108,9 @@ func (c *Core) retire(now sim.Cycle) {
 	if c.Retired >= c.limit {
 		c.done = true
 		c.FinishedAt = now
+		if c.doneSink != nil {
+			c.doneSink()
+		}
 	}
 }
 

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"reactivenoc/internal/chip"
+	"reactivenoc/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// Time series — per-window behaviour over the measured phase
+// ---------------------------------------------------------------------------
+
+// SeriesWindow is one sampling window of a run: counter deltas turned into
+// rates, gauge levels carried as read.
+type SeriesWindow struct {
+	// End is the window's closing cycle, relative to the measured-phase
+	// start; Cycles is the window length.
+	End    sim.Cycle
+	Cycles sim.Cycle
+
+	// InjRate is flits per node per cycle within the window — the
+	// network-load measure the paper quotes chip-wide.
+	InjRate float64
+	// RetireRate is retired operations per core per cycle (windowed IPC).
+	RetireRate float64
+	// OpenCircuits is the live-reservation level at the window's end;
+	// CircuitsBuilt counts constructions within the window.
+	OpenCircuits  int64
+	CircuitsBuilt int64
+}
+
+// Series is the per-window time series of one run.
+type Series struct {
+	Chip, Variant, Workload string
+	Windows                 []SeriesWindow
+}
+
+// SeriesFrom converts a run's raw snapshot windows (Spec.SampleEvery > 0)
+// into rates. It returns an error when the run recorded no series.
+func SeriesFrom(r *chip.Results) (*Series, error) {
+	if len(r.Series) == 0 {
+		return nil, fmt.Errorf("exp: run recorded no series (set Spec.SampleEvery)")
+	}
+	nodes := len(r.Cores)
+	s := &Series{
+		Chip:     r.Spec.Chip.Name,
+		Variant:  r.Spec.Variant.Name,
+		Workload: r.Spec.Workload.Name,
+	}
+	prevEnd := sim.Cycle(0)
+	for _, w := range r.Series {
+		cycles := w.At - prevEnd
+		win := SeriesWindow{
+			End:           w.At,
+			Cycles:        cycles,
+			OpenCircuits:  w.Value("circ/open"),
+			CircuitsBuilt: w.Value("circ/built"),
+		}
+		if cycles > 0 && nodes > 0 {
+			denom := float64(cycles) * float64(nodes)
+			win.InjRate = float64(w.Value("noc/link_flits")) / denom
+			win.RetireRate = float64(w.Value("core/retired")) / denom
+		}
+		s.Windows = append(s.Windows, win)
+		prevEnd = w.At
+	}
+	return s, nil
+}
+
+// Markdown renders the series as a table, one row per window.
+func (s *Series) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Time series — %s, %s, %s\n\n", s.Chip, s.Variant, s.Workload)
+	b.WriteString("| window end | inj (flits/node/cyc) | IPC | circuits built | open |\n")
+	b.WriteString("|---:|---:|---:|---:|---:|\n")
+	for _, w := range s.Windows {
+		fmt.Fprintf(&b, "| %d | %.4f | %.3f | %d | %d |\n",
+			w.End, w.InjRate, w.RetireRate, w.CircuitsBuilt, w.OpenCircuits)
+	}
+	return b.String()
+}

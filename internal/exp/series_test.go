@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"reactivenoc/internal/chip"
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/workload"
+)
+
+func TestSeriesFromWindowsSumToRunTotals(t *testing.T) {
+	v, ok := config.ByName("Complete_NoAck")
+	if !ok {
+		t.Fatal("variant missing")
+	}
+	spec := chip.DefaultSpec(config.Chip16(), v, workload.Micro())
+	spec.WarmupOps = 600
+	spec.MeasureOps = 2400
+	spec.SampleEvery = 512
+	r := chip.MustRun(spec)
+
+	s, err := SeriesFrom(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Windows) < 2 {
+		t.Fatalf("only %d windows for a multi-thousand-cycle run", len(s.Windows))
+	}
+
+	// Window counter deltas must partition the measured phase exactly.
+	var flits, built int64
+	for i, w := range s.Windows {
+		flits += int64(w.InjRate * float64(w.Cycles) * float64(len(r.Cores)))
+		built += w.CircuitsBuilt
+		if i > 0 && w.End <= s.Windows[i-1].End {
+			t.Fatalf("window ends not increasing: %d after %d", w.End, s.Windows[i-1].End)
+		}
+		if i < len(s.Windows)-1 && w.Cycles != spec.SampleEvery {
+			t.Fatalf("interior window %d spans %d cycles, want %d", i, w.Cycles, spec.SampleEvery)
+		}
+	}
+	if r.Circ == nil || built != r.Circ.CircuitsBuilt {
+		t.Fatalf("windowed circuits built %d, run total %+v", built, r.Circ)
+	}
+	// Flit rates are rounded through float64 per window; allow one flit of
+	// slack per window.
+	if d := flits - r.Events.LinkFlits; d > int64(len(s.Windows)) || d < -int64(len(s.Windows)) {
+		t.Fatalf("windowed flits %d vs run total %d", flits, r.Events.LinkFlits)
+	}
+
+	md := s.Markdown()
+	if !strings.Contains(md, "Complete_NoAck") || !strings.Contains(md, "| window end |") {
+		t.Fatalf("markdown rendering broken:\n%s", md)
+	}
+}
+
+func TestSeriesFromRequiresSampling(t *testing.T) {
+	if _, err := SeriesFrom(&chip.Results{}); err == nil {
+		t.Fatal("want error for a run without Spec.SampleEvery")
+	}
+}

@@ -1,5 +1,7 @@
 package noc
 
+import "reactivenoc/internal/sim"
+
 // PowerEvents tallies the microarchitectural events the DSENT-substitute
 // energy model charges for. One instance is shared by all routers and NIs
 // of a network; the simulator is single-goroutine so plain fields suffice.
@@ -14,6 +16,20 @@ type PowerEvents struct {
 	CircuitChecks  int64 // circuit-table lookups at input units
 	CircuitWrites  int64 // circuit-table entry installs/clears
 	Retries        int64 // SA grants cancelled by circuit priority
+}
+
+// Describe registers every event counter with reg under the noc/ scope.
+func (e *PowerEvents) Describe(reg *sim.Registry) {
+	reg.Counter("noc/buf_writes", &e.BufWrites)
+	reg.Counter("noc/buf_reads", &e.BufReads)
+	reg.Counter("noc/xbar_traversals", &e.XbarTraversals)
+	reg.Counter("noc/link_flits", &e.LinkFlits)
+	reg.Counter("noc/va_activity", &e.VAActivity)
+	reg.Counter("noc/sa_activity", &e.SAActivity)
+	reg.Counter("noc/credits_sent", &e.CreditsSent)
+	reg.Counter("noc/circuit_checks", &e.CircuitChecks)
+	reg.Counter("noc/circuit_writes", &e.CircuitWrites)
+	reg.Counter("noc/retries", &e.Retries)
 }
 
 // Add folds o into e.

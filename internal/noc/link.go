@@ -20,7 +20,13 @@ type Link struct {
 	// lastSend guards the one-flit-per-cycle physical constraint.
 	lastSend sim.Cycle
 	hasSent  bool
+	// wake revives the receiving component when a flit enters the wire, so
+	// the activity-tracked kernel ticks it while anything is in flight.
+	wake func()
 }
+
+// SetWake installs the receiver's wake callback (nil clears it).
+func (l *Link) SetWake(fn func()) { l.wake = fn }
 
 type linkSlot struct {
 	f       *Flit
@@ -41,6 +47,9 @@ func (l *Link) SendDelayed(f *Flit, now sim.Cycle, extra sim.Cycle) {
 	l.hasSent = true
 	l.lastSend = now
 	l.q = append(l.q, linkSlot{f: f, readyAt: now + linkDelay + extra})
+	if l.wake != nil {
+		l.wake()
+	}
 }
 
 // Recv returns the flit that completes traversal at cycle now, or nil.
@@ -60,8 +69,12 @@ func (l *Link) Busy() bool { return len(l.q) > 0 }
 // tokens) in the direction opposite to its paired flit link. Credits have
 // the same wire latency as flits.
 type CreditLink struct {
-	q []creditSlot
+	q    []creditSlot
+	wake func()
 }
+
+// SetWake installs the receiver's wake callback (nil clears it).
+func (l *CreditLink) SetWake(fn func()) { l.wake = fn }
 
 type creditSlot struct {
 	c       Credit
@@ -73,6 +86,9 @@ type creditSlot struct {
 // distinct circuits, travel on dedicated sideband wires.
 func (l *CreditLink) Send(c Credit, now sim.Cycle) {
 	l.q = append(l.q, creditSlot{c: c, readyAt: now + linkDelay})
+	if l.wake != nil {
+		l.wake()
+	}
 }
 
 // Recv returns all credits arriving at cycle now.

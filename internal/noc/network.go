@@ -90,6 +90,35 @@ func (n *Network) NextMsgID() uint64 {
 	return n.msgID
 }
 
+// Register adds every router and NI to k as individually activity-tracked
+// components, in the exact order Tick visits them (routers by id, then NIs
+// by id), and wires each link's wake callback to its receiving component.
+// A network registered this way must not also be ticked monolithically.
+func (n *Network) Register(k *sim.Kernel) {
+	for _, r := range n.routers {
+		w := k.Add(r)
+		for d := range r.in {
+			if p := r.in[d]; p != nil && p.link != nil {
+				p.link.SetWake(w.Wake) // flits arriving from upstream / the NI
+			}
+		}
+		for d := range r.out {
+			if op := r.out[d]; op != nil && op.credit != nil {
+				op.credit.SetWake(w.Wake) // credits arriving from downstream
+			}
+		}
+	}
+	for _, ni := range n.nis {
+		w := k.Add(ni)
+		ni.SetWaker(w)
+		ni.fromRouter.SetWake(w.Wake)
+		ni.creditIn.SetWake(w.Wake)
+	}
+}
+
+// DescribeMetrics registers the network's counters with reg.
+func (n *Network) DescribeMetrics(reg *sim.Registry) { n.ev.Describe(reg) }
+
 // Tick advances every router and NI one cycle.
 func (n *Network) Tick(now sim.Cycle) {
 	for _, r := range n.routers {

@@ -35,6 +35,7 @@ type NI struct {
 	hook   NIHook
 	recv   Receiver
 	tracer *trace.Buffer
+	wake   sim.Waker
 
 	// expectSeq validates wormhole integrity on ejection: flits of each
 	// message must arrive in sequence order with none missing.
@@ -72,6 +73,17 @@ func (ni *NI) ID() mesh.NodeID { return ni.id }
 // SetReceiver installs the delivery callback (the tile's controllers).
 func (ni *NI) SetReceiver(r Receiver) { ni.recv = r }
 
+// SetWaker installs the NI's kernel waker; Send and SendFront self-wake so
+// an activity-tracked NI resumes injecting when it is handed a message.
+func (ni *NI) SetWaker(w sim.Waker) { ni.wake = w }
+
+// Quiescent reports whether the NI's next Tick is a pure no-op: nothing
+// queued, draining, or pending local delivery, and nothing in flight on the
+// ejection or credit wires from its router.
+func (ni *NI) Quiescent() bool {
+	return ni.QueueLen() == 0 && !ni.fromRouter.Busy() && !ni.creditIn.Busy()
+}
+
 // Send enqueues m for injection at cycle now.
 func (ni *NI) Send(m *Message, now sim.Cycle) {
 	if m.Size <= 0 {
@@ -81,6 +93,7 @@ func (ni *NI) Send(m *Message, now sim.Cycle) {
 		panic(fmt.Sprintf("noc: message %d has VN %d", m.ID, m.VN))
 	}
 	m.EnqueuedAt = now
+	ni.wake.Wake()
 	if ni.tracer != nil {
 		ni.tracer.Record(now, trace.Enqueue, m.ID, ni.id,
 			fmt.Sprintf("type=%d %d->%d size=%d", m.Type, m.Src, m.Dst, m.Size))
@@ -105,6 +118,7 @@ func (ni *NI) SendFront(m *Message, now sim.Cycle) {
 		return
 	}
 	m.EnqueuedAt = now
+	ni.wake.Wake()
 	ni.queues[m.VN] = append([]*Message{m}, ni.queues[m.VN]...)
 }
 

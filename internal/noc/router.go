@@ -660,6 +660,32 @@ func (r *Router) returnCredit(p *inputPort, c Credit, in mesh.Dir, now sim.Cycle
 	r.ev.CreditsSent++
 }
 
+// Quiescent reports whether the router's next Tick is a pure no-op: no
+// flit buffered or latched, nothing in flight on an input link, no credit
+// in flight from a downstream neighbour, and no pending switch grant.
+// Input links and downstream credit wires are part of the check because
+// Tick drains both; their senders invoke this router's Waker at send time,
+// so a sleeping router is revived before traffic reaches it.
+func (r *Router) Quiescent() bool {
+	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+		if p := r.in[d]; p != nil {
+			if p.occupancy > 0 || len(p.byQ) > 0 {
+				return false
+			}
+			if p.link != nil && p.link.Busy() {
+				return false
+			}
+		}
+		if op := r.out[d]; op != nil && op.credit != nil && op.credit.Busy() {
+			return false
+		}
+		if r.grants[d].valid {
+			return false
+		}
+	}
+	return true
+}
+
 // busy reports whether any flit is buffered, latched, or mid-pipeline in
 // this router.
 func (r *Router) busy() bool {

@@ -16,13 +16,73 @@ type Ticker interface {
 	Tick(now Cycle)
 }
 
-// Kernel drives a set of Tickers with a shared clock.
+// Component is a Ticker that reports quiescence. The contract is strict:
+// Quiescent() may return true only when the next Tick would be a pure
+// no-op — no architectural state, statistic or counter may change when a
+// quiescent component ticks. Under that contract the kernel may skip
+// sleeping components without perturbing the simulation by a single bit,
+// which is exactly what the golden determinism suite asserts.
+//
+// A component goes back to sleep on its own (the kernel re-checks
+// quiescence after every tick); it is revived by a Waker, which whoever
+// hands it work — a link delivering a flit, an NI accepting a message, a
+// controller queueing a response — must invoke at hand-off time.
+type Component interface {
+	Ticker
+	Quiescent() bool
+}
+
+// Waker revives one registered component. The zero Waker is a no-op, so
+// components wired outside a kernel (unit tests driving Tick by hand) need
+// no special casing. Waking an already-active component is free; waking a
+// component whose slot already passed this cycle takes effect next cycle —
+// identical to the dense engine, where that component's earlier tick was a
+// no-op by the quiescence contract.
+type Waker struct {
+	k    *Kernel
+	idx  int
+	post bool
+}
+
+// Wake marks the component active so the kernel ticks it again.
+func (w Waker) Wake() {
+	if w.k == nil {
+		return
+	}
+	if w.post {
+		w.k.post[w.idx].active = true
+	} else {
+		w.k.main[w.idx].active = true
+	}
+}
+
+// entry is one registered component with its scheduling state.
+type entry struct {
+	t Ticker
+	// c is non-nil for activity-tracked components; nil entries (legacy
+	// Register calls) are ticked unconditionally every cycle.
+	c      Component
+	active bool
+}
+
+// Kernel drives a set of Tickers with a shared clock. Components added
+// through Add are activity-tracked: the kernel skips them while they are
+// quiescent and revives them through their Waker. Components added through
+// Register tick every cycle, preserving the original engine's behaviour
+// for monolithic tickers.
 type Kernel struct {
-	now     Cycle
-	tickers []Ticker
-	// post runs after every component ticked, in registration order. Links
-	// use it to flop their pipeline registers.
-	post []Ticker
+	now  Cycle
+	main []entry
+	// post runs after every component ticked, in registration order.
+	// Pipeline-flop style components use it.
+	post []entry
+	// dense disables activity skipping: every component ticks every
+	// cycle, exactly like the original engine. The golden determinism
+	// suite cross-checks dense against sparse execution.
+	dense bool
+	// ticks counts component ticks actually executed; with the component
+	// count and cycle count this yields the scheduler's skip ratio.
+	ticks int64
 }
 
 // NewKernel returns an empty kernel at cycle 0.
@@ -31,22 +91,92 @@ func NewKernel() *Kernel { return &Kernel{} }
 // Now returns the current cycle.
 func (k *Kernel) Now() Cycle { return k.now }
 
-// Register adds a component to the main tick phase.
-func (k *Kernel) Register(t Ticker) { k.tickers = append(k.tickers, t) }
+// Register adds a component to the main tick phase; it ticks every cycle.
+func (k *Kernel) Register(t Ticker) { k.main = append(k.main, entry{t: t, active: true}) }
 
-// RegisterPost adds a component to the post-tick phase (pipeline flop).
-func (k *Kernel) RegisterPost(t Ticker) { k.post = append(k.post, t) }
+// RegisterPost adds a component to the post-tick phase (pipeline flop); it
+// ticks every cycle.
+func (k *Kernel) RegisterPost(t Ticker) { k.post = append(k.post, entry{t: t, active: true}) }
+
+// Add registers an activity-tracked component in the main phase and
+// returns its Waker. Components start active and fall asleep after their
+// first quiescent tick.
+func (k *Kernel) Add(c Component) Waker {
+	k.main = append(k.main, entry{t: c, c: c, active: true})
+	return Waker{k: k, idx: len(k.main) - 1}
+}
+
+// AddPost registers an activity-tracked component in the post phase.
+func (k *Kernel) AddPost(c Component) Waker {
+	k.post = append(k.post, entry{t: c, c: c, active: true})
+	return Waker{k: k, idx: len(k.post) - 1, post: true}
+}
+
+// SetDense switches the kernel to dense (tick-everything) execution, the
+// reference mode the activity tracker is verified against.
+func (k *Kernel) SetDense(d bool) { k.dense = d }
+
+// Components returns how many components are registered across both
+// phases.
+func (k *Kernel) Components() int { return len(k.main) + len(k.post) }
+
+// ActiveCount returns how many registered components are currently awake.
+func (k *Kernel) ActiveCount() int {
+	n := 0
+	for i := range k.main {
+		if k.main[i].active {
+			n++
+		}
+	}
+	for i := range k.post {
+		if k.post[i].active {
+			n++
+		}
+	}
+	return n
+}
+
+// Ticks returns the number of component ticks executed since construction.
+// Comparing it against Components() × Now() gives the skip ratio the
+// activity tracker achieved.
+func (k *Kernel) Ticks() int64 { return k.ticks }
+
+// WakeAll revives every component. Phase transitions use it as a blunt but
+// safe instrument: a truly quiescent component falls back asleep after one
+// no-op tick.
+func (k *Kernel) WakeAll() {
+	for i := range k.main {
+		k.main[i].active = true
+	}
+	for i := range k.post {
+		k.post[i].active = true
+	}
+}
 
 // Step advances the simulation by one cycle.
 func (k *Kernel) Step() {
 	now := k.now
-	for _, t := range k.tickers {
-		t.Tick(now)
-	}
-	for _, t := range k.post {
-		t.Tick(now)
-	}
+	k.stepPhase(k.main, now)
+	k.stepPhase(k.post, now)
 	k.now++
+}
+
+func (k *Kernel) stepPhase(es []entry, now Cycle) {
+	for i := range es {
+		e := &es[i]
+		if !e.active && !k.dense {
+			continue
+		}
+		e.t.Tick(now)
+		k.ticks++
+		if e.c != nil {
+			// Re-evaluated after every tick: work the component handed
+			// itself keeps it awake; work handed to it by a later-ticking
+			// peer sets the flag directly and survives this check because
+			// sends only happen after this component's slot.
+			e.active = !e.c.Quiescent()
+		}
+	}
 }
 
 // Run advances n cycles.

@@ -81,4 +81,141 @@ func TestRunUntilHorizon(t *testing.T) {
 	if ran != 50 {
 		t.Fatalf("ran %d cycles, want horizon 50", ran)
 	}
+	if k.Now() != 50 {
+		t.Fatalf("kernel at cycle %d after horizon run, want 50", k.Now())
+	}
+}
+
+// RunUntil must not step once the predicate holds, and a predicate that
+// turns true exactly at the horizon is still reported as done.
+func TestRunUntilDoneFiresWithoutStepping(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.Register(tickFunc(func(Cycle) { n++ }))
+	ran, ok := k.RunUntil(func() bool { return true }, 100)
+	if !ok || ran != 0 || n != 0 {
+		t.Fatalf("ran=%d ok=%v ticks=%d, want 0/true/0", ran, ok, n)
+	}
+
+	ran, ok = k.RunUntil(func() bool { return n >= 5 }, 5)
+	if !ok {
+		t.Fatal("predicate satisfied exactly at the horizon must report done")
+	}
+	if ran != 5 || n != 5 {
+		t.Fatalf("ran=%d ticks=%d, want 5/5", ran, n)
+	}
+}
+
+// Main-phase components all tick before any post-phase component,
+// regardless of the order Register and RegisterPost were interleaved in;
+// within a phase, registration order is preserved.
+func TestInterleavedRegisterKeepsPhaseOrder(t *testing.T) {
+	k := NewKernel()
+	order := []string{}
+	rec := func(name string) tickFunc {
+		return func(Cycle) { order = append(order, name) }
+	}
+	k.Register(rec("m1"))
+	k.RegisterPost(rec("p1"))
+	k.Register(rec("m2"))
+	k.RegisterPost(rec("p2"))
+	k.Register(rec("m3"))
+	k.Step()
+	want := []string{"m1", "m2", "m3", "p1", "p2"}
+	if len(order) != len(want) {
+		t.Fatalf("tick order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tick order %v, want %v", order, want)
+		}
+	}
+}
+
+// toggler is an activity-tracked component: it works for burst ticks after
+// every wake, then reports quiescence.
+type toggler struct {
+	pending int
+	ticks   int
+}
+
+func (c *toggler) Tick(Cycle) {
+	if c.pending > 0 {
+		c.pending--
+		c.ticks++
+	}
+}
+func (c *toggler) Quiescent() bool { return c.pending == 0 }
+
+func TestKernelSkipsQuiescentComponents(t *testing.T) {
+	k := NewKernel()
+	c := &toggler{pending: 3}
+	w := k.Add(c)
+	k.Run(10)
+	if c.ticks != 3 {
+		t.Fatalf("component worked %d ticks, want its 3-cycle burst", c.ticks)
+	}
+	if k.ActiveCount() != 0 {
+		t.Fatalf("%d components awake after quiescence", k.ActiveCount())
+	}
+	// A quiescent component must not be ticked at all (the skip is what
+	// the activity tracker buys): 1 registered component x 10 cycles
+	// would be 10 ticks dense; quiescence is re-checked after every tick,
+	// so the 3-cycle burst costs exactly 3 executed ticks.
+	if got := k.Ticks(); got != 3 {
+		t.Fatalf("kernel executed %d component ticks, want 3", got)
+	}
+
+	w.Wake()
+	c.pending = 2
+	k.Run(5)
+	if c.ticks != 5 {
+		t.Fatalf("woken component worked %d ticks total, want 5", c.ticks)
+	}
+}
+
+// The zero Waker is a no-op so components can run outside a kernel.
+func TestZeroWakerIsNoop(t *testing.T) {
+	var w Waker
+	w.Wake()
+}
+
+// Dense mode must tick everything every cycle and still produce the same
+// component-visible behaviour.
+func TestDenseModeTicksEverything(t *testing.T) {
+	k := NewKernel()
+	k.SetDense(true)
+	c := &toggler{pending: 3}
+	k.Add(c)
+	k.Run(10)
+	if c.ticks != 3 {
+		t.Fatalf("dense component worked %d ticks, want 3", c.ticks)
+	}
+	if got := k.Ticks(); got != 10 {
+		t.Fatalf("dense kernel executed %d ticks, want 10", got)
+	}
+}
+
+// Post-phase activity tracking: an AddPost component sleeps and wakes like
+// a main-phase one, and still runs after the whole main phase.
+func TestAddPostActivityAndOrdering(t *testing.T) {
+	k := NewKernel()
+	order := []string{}
+	k.Register(tickFunc(func(Cycle) { order = append(order, "main") }))
+	c := &toggler{pending: 1}
+	w := k.AddPost(c)
+	k.Step()
+	if len(order) != 1 || c.ticks != 1 {
+		t.Fatalf("post component did not tick (order=%v ticks=%d)", order, c.ticks)
+	}
+	k.Run(3)
+	if c.ticks != 1 {
+		t.Fatalf("quiescent post component ticked %d times, want 1", c.ticks)
+	}
+	c.pending = 1
+	w.Wake()
+	k.Step()
+	if c.ticks != 2 {
+		t.Fatalf("woken post component ticked %d times, want 2", c.ticks)
+	}
 }
