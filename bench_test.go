@@ -37,6 +37,7 @@ func benchVariants(names ...string) []config.Variant {
 // BenchmarkTable1MessageMix reproduces the Table 1 message population on
 // the 64-core chip: the request/reply split and the per-type shares.
 func BenchmarkTable1MessageMix(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := exp.RunSweep(config.Chip64(), benchVariants("Baseline"), benchScale())
 		t1, err := exp.Table1From(s)
@@ -51,6 +52,7 @@ func BenchmarkTable1MessageMix(b *testing.B) {
 // BenchmarkTable5CircuitOrdinals reproduces the reservation-ordinal
 // distribution for complete circuits with eliminated acks, 64 cores.
 func BenchmarkTable5CircuitOrdinals(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := exp.RunSweep(config.Chip64(), benchVariants("Complete_NoAck"), benchScale())
 		t5 := exp.Table5From(s, "Complete_NoAck")
@@ -62,6 +64,7 @@ func BenchmarkTable5CircuitOrdinals(b *testing.B) {
 // BenchmarkTable6RouterArea evaluates the analytical router-area model for
 // every mechanism at both chip sizes.
 func BenchmarkTable6RouterArea(b *testing.B) {
+	b.ReportAllocs()
 	var t6 *exp.Table6
 	for i := 0; i < b.N; i++ {
 		t6 = exp.Table6Compute()
@@ -74,6 +77,7 @@ func BenchmarkTable6RouterArea(b *testing.B) {
 // BenchmarkFig6CircuitOutcomes reproduces the reply-outcome breakdown
 // (circuit / failed / undone / scrounger / not-eligible / eliminated).
 func BenchmarkFig6CircuitOutcomes(b *testing.B) {
+	b.ReportAllocs()
 	vs := benchVariants("Baseline", "Fragmented", "Complete_NoAck", "Timed_NoAck", "SlackDelay_1_NoAck", "Ideal")
 	for i := 0; i < b.N; i++ {
 		s := exp.RunSweep(config.Chip64(), vs, benchScale())
@@ -93,6 +97,7 @@ func BenchmarkFig6CircuitOutcomes(b *testing.B) {
 // BenchmarkFig7MessageLatency reproduces the latency anatomy per message
 // class for the key variants.
 func BenchmarkFig7MessageLatency(b *testing.B) {
+	b.ReportAllocs()
 	vs := benchVariants("Baseline", "Complete_NoAck")
 	for i := 0; i < b.N; i++ {
 		s := exp.RunSweep(config.Chip64(), vs, benchScale())
@@ -106,6 +111,7 @@ func BenchmarkFig7MessageLatency(b *testing.B) {
 
 // BenchmarkFig8NetworkEnergy reproduces the normalized network energy.
 func BenchmarkFig8NetworkEnergy(b *testing.B) {
+	b.ReportAllocs()
 	vs := benchVariants("Baseline", "Fragmented", "Complete_NoAck")
 	for i := 0; i < b.N; i++ {
 		s := exp.RunSweep(config.Chip64(), vs, benchScale())
@@ -126,6 +132,7 @@ func BenchmarkFig8NetworkEnergy(b *testing.B) {
 
 // BenchmarkFig9Speedup reproduces the average speedup of the key variants.
 func BenchmarkFig9Speedup(b *testing.B) {
+	b.ReportAllocs()
 	vs := benchVariants("Baseline", "Complete_NoAck", "SlackDelay_1_NoAck", "Ideal")
 	for i := 0; i < b.N; i++ {
 		s := exp.RunSweep(config.Chip64(), vs, benchScale())
@@ -149,6 +156,7 @@ func BenchmarkFig9Speedup(b *testing.B) {
 // BenchmarkFig10PerAppSpeedup reproduces the per-application speedups of
 // timed circuits with slack and delay on the 64-core chip.
 func BenchmarkFig10PerAppSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	vs := benchVariants("Baseline", "SlackDelay_1_NoAck")
 	for i := 0; i < b.N; i++ {
 		s := exp.RunSweep(config.Chip64(), vs, benchScale())
@@ -173,6 +181,7 @@ func BenchmarkFig10PerAppSpeedup(b *testing.B) {
 // BenchmarkLoadThreshold reproduces the Section-5.5 congestion argument:
 // circuit failures vs offered load, untimed vs timed.
 func BenchmarkLoadThreshold(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ls := exp.LoadSweepRun(config.Chip64(), []float64{1, 8}, 2500, exp.DefaultPolicy())
 		heavy := ls.Rows[len(ls.Rows)-1]
@@ -184,6 +193,7 @@ func BenchmarkLoadThreshold(b *testing.B) {
 // BenchmarkAblationCircuitsPerPort sweeps the paper's experimentally chosen
 // five-entries-per-port constant.
 func BenchmarkAblationCircuitsPerPort(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ab := exp.AblateCircuitsPerPort(config.Chip64(), []int{1, 5}, 2500, exp.DefaultPolicy())
 		b.ReportMetric(ab.Rows[0].StorageFailed*100, "one_entry_storage_fail_pct")
@@ -193,6 +203,7 @@ func BenchmarkAblationCircuitsPerPort(b *testing.B) {
 
 // BenchmarkScalability measures circuit construction across chip sizes.
 func BenchmarkScalability(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ss := exp.ScaleSweepRun([]int{4, 8}, 2500, exp.DefaultPolicy())
 		b.ReportMetric(ss.Rows[0].Circuit["Complete_NoAck"]*100, "circuit16_pct")
@@ -218,6 +229,7 @@ func reportCycleRate(b *testing.B, simCycles int64) {
 // 64-router mesh carrying light random traffic, with every router and NI
 // activity-tracked — the low-load regime the quiescence scheduler targets.
 func BenchmarkNetworkCycle(b *testing.B) {
+	b.ReportAllocs()
 	m := mesh.New(8, 8)
 	net := noc.NewNetwork(noc.BaselineConfig(m), nil, nil)
 	for id := mesh.NodeID(0); int(id) < m.Nodes(); id++ {
@@ -238,16 +250,59 @@ func BenchmarkNetworkCycle(b *testing.B) {
 	reportCycleRate(b, kernel.Now())
 }
 
+// BenchmarkBusyNetworkCycle measures the saturated steady state: a closed
+// population of messages permanently in flight across the 64-router mesh,
+// each delivery recycling its message and injecting a replacement drawn from
+// the pool. After warm-up this loop must not allocate — the 0 allocs/op
+// figure here is the tentpole claim of the recycling work, and the CI bench
+// gate pins it.
+func BenchmarkBusyNetworkCycle(b *testing.B) {
+	b.ReportAllocs()
+	m := mesh.New(8, 8)
+	net := noc.NewNetwork(noc.BaselineConfig(m), nil, nil)
+	rng := sim.NewRNG(2)
+	kernel := sim.NewKernel()
+	inject := func(now sim.Cycle) {
+		msg := net.NewMessage()
+		msg.Src = mesh.NodeID(rng.Intn(m.Nodes()))
+		msg.Dst = mesh.NodeID(rng.Intn(m.Nodes()))
+		msg.VN = rng.Intn(noc.NumVNs)
+		msg.Size = 1
+		if rng.Bool(0.5) {
+			msg.Size = 5
+		}
+		net.Send(msg, now)
+	}
+	for id := mesh.NodeID(0); int(id) < m.Nodes(); id++ {
+		net.NI(id).SetReceiver(func(msg *noc.Message, now sim.Cycle) {
+			net.FreeMessage(msg)
+			inject(now)
+		})
+	}
+	net.Register(kernel)
+	for i := 0; i < 96; i++ {
+		inject(0)
+	}
+	kernel.Run(500) // reach steady state and fill the pools
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel.Step()
+	}
+	reportCycleRate(b, int64(b.N))
+}
+
 // BenchmarkKernelStep isolates the scheduler's per-cycle overhead on a
 // fully quiescent 128-component mesh: sparse mode pays only the active-set
 // scan, dense mode pays a no-op Tick per component — the gap is what
 // activity tracking buys before any simulation work happens.
 func BenchmarkKernelStep(b *testing.B) {
+	b.ReportAllocs()
 	for _, mode := range []struct {
 		name  string
 		dense bool
 	}{{"sparse", false}, {"dense", true}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			m := mesh.New(8, 8)
 			net := noc.NewNetwork(noc.BaselineConfig(m), nil, nil)
 			for id := mesh.NodeID(0); int(id) < m.Nodes(); id++ {
@@ -268,6 +323,7 @@ func BenchmarkKernelStep(b *testing.B) {
 
 // BenchmarkChipRun measures a full 16-core end-to-end run.
 func BenchmarkChipRun(b *testing.B) {
+	b.ReportAllocs()
 	c := config.Chip16()
 	v, _ := config.ByName("Complete_NoAck")
 	w := workload.Micro()
@@ -285,6 +341,7 @@ func BenchmarkChipRun(b *testing.B) {
 // BenchmarkCircuitReservation measures the reservation fast path: a
 // request-reply pair on complete circuits, end to end.
 func BenchmarkCircuitReservation(b *testing.B) {
+	b.ReportAllocs()
 	opts := core.Options{Mechanism: core.MechComplete, MaxCircuitsPerPort: 5}
 	m := mesh.New(8, 8)
 	mgr := core.NewManager(opts, m)

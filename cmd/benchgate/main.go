@@ -1,0 +1,215 @@
+// Command benchgate compares two benchmark captures — a committed baseline
+// and a fresh PR run — and fails on performance regressions. It guards the
+// two numbers the zero-allocation work pinned down: simulation throughput
+// (sim_cycles/sec, higher is better) and steady-state allocation counts
+// (allocs/op, lower is better).
+//
+// Both inputs may be either `go test -json` event streams (as produced by
+// `go test -json -bench ... > BENCH.json`) or plain `go test -bench` text;
+// the format is detected per line. Benchmarks present in only one capture
+// are reported but never fail the gate, so adding or retiring a benchmark
+// does not require touching the baseline in the same commit.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_baseline.json -pr BENCH_pr.json [-threshold 0.10]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics maps a unit ("ns/op", "allocs/op", "sim_cycles/sec", ...) to its
+// reported value for one benchmark.
+type metrics map[string]float64
+
+// event is the subset of the test2json record benchgate needs.
+type event struct {
+	Action string
+	Output string
+}
+
+// cpuSuffix strips the trailing GOMAXPROCS marker go test appends to
+// benchmark names (BenchmarkFoo-8), so captures from machines with
+// different core counts still line up.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts per-benchmark metrics from a capture in either
+// format. Unparseable lines are skipped: a capture that interleaves build
+// noise or test logs must not kill the gate.
+func parseBench(r io.Reader) (map[string]metrics, error) {
+	// First reassemble the raw benchmark output: test2json splits one
+	// result line across several Output events.
+	var buf strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev event
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action == "output" {
+					buf.WriteString(ev.Output)
+				}
+				continue
+			}
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := map[string]metrics{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iteration count, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(fields[0], "")
+		m := metrics{"_iterations": float64(iters)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m[fields[i+1]] = v
+		}
+		if len(m) > 1 {
+			out[name] = m
+		}
+	}
+	return out, nil
+}
+
+// regression is one gate violation, formatted for the CI log.
+type regression struct {
+	bench, unit          string
+	base, pr, changeFrac float64
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("%s: %s regressed %.1f%% (baseline %.6g, PR %.6g)",
+		r.bench, r.unit, 100*r.changeFrac, r.base, r.pr)
+}
+
+// minSampleNS is the shortest measurement (iterations x ns/op) whose
+// throughput the gate will judge: below one millisecond the number is timer
+// noise, not signal — a single Step of an idle mesh takes ~10 us. allocs/op
+// is still gated for such benchmarks, because allocation counts are
+// deterministic at any sample size.
+const minSampleNS = 1e6
+
+// sampleNS returns how long the benchmark actually measured.
+func sampleNS(m metrics) float64 { return m["_iterations"] * m["ns/op"] }
+
+// compare applies the gate rules: sim_cycles/sec may not drop by more than
+// threshold, allocs/op may not grow by more than threshold — and a
+// zero-alloc baseline may not start allocating at all, because 0 allocs/op
+// in the steady state is the headline claim the gate exists to protect.
+func compare(base, pr map[string]metrics, threshold float64) (regs []regression, notes []string) {
+	names := make([]string, 0, len(pr))
+	for name := range pr {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			notes = append(notes, name+": not in baseline, skipped (new benchmark?)")
+			continue
+		}
+		p := pr[name]
+		if bv, ok := b["sim_cycles/sec"]; ok {
+			if pv, ok := p["sim_cycles/sec"]; ok && bv > 0 && pv < bv*(1-threshold) {
+				if sampleNS(b) < minSampleNS || sampleNS(p) < minSampleNS {
+					notes = append(notes, fmt.Sprintf(
+						"%s: sim_cycles/sec sample under %.0f ms, too noisy to gate (baseline %.6g, PR %.6g)",
+						name, minSampleNS/1e6, bv, pv))
+				} else {
+					regs = append(regs, regression{name, "sim_cycles/sec", bv, pv, (bv - pv) / bv})
+				}
+			}
+		}
+		if bv, ok := b["allocs/op"]; ok {
+			if pv, ok := p["allocs/op"]; ok {
+				switch {
+				case bv == 0 && pv > 0:
+					regs = append(regs, regression{name, "allocs/op", bv, pv, 1})
+				case bv > 0 && pv > bv*(1+threshold):
+					regs = append(regs, regression{name, "allocs/op", bv, pv, (pv - bv) / bv})
+				}
+			}
+		}
+	}
+	for name := range base {
+		if _, ok := pr[name]; !ok {
+			notes = append(notes, name+": in baseline but not in PR run (renamed or removed?)")
+		}
+	}
+	sort.Strings(notes)
+	return regs, notes
+}
+
+func load(path string) map[string]metrics {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	m, err := parseBench(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if len(m) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark results found in %s\n", path)
+		os.Exit(2)
+	}
+	return m
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_baseline.json", "baseline benchmark capture (go test -json or text)")
+	prPath := flag.String("pr", "BENCH_pr.json", "PR benchmark capture (go test -json or text)")
+	threshold := flag.Float64("threshold", 0.10, "allowed relative regression before the gate fails")
+	flag.Parse()
+
+	base, pr := load(*basePath), load(*prPath)
+	regs, notes := compare(base, pr, *threshold)
+	for _, n := range notes {
+		fmt.Println("note: " + n)
+	}
+	if len(regs) == 0 {
+		fmt.Printf("benchgate: OK — %d benchmarks compared, none regressed more than %.0f%%\n",
+			len(pr), *threshold*100)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: FAIL — %d regression(s) beyond the %.0f%% threshold:\n",
+		len(regs), *threshold*100)
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "  "+r.String())
+	}
+	fmt.Fprintln(os.Stderr, "If the slowdown is intended, regenerate the baseline:")
+	fmt.Fprintln(os.Stderr, "  go test -run xxx -bench . -benchtime=1x -benchmem -json . > BENCH_baseline.json")
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baselineText = `goos: linux
+BenchmarkChipRun    	       1	  29512050 ns/op	      4829 cycles	    311301 sim_cycles/sec	   77111 allocs/op
+BenchmarkNetworkCycle-8 	       1	     10574 ns/op	    109782 sim_cycles/sec	       2 allocs/op
+BenchmarkBusySteady 	  100000	       375.2 ns/op	   2665000 sim_cycles/sec	       0 allocs/op
+`
+
+// test2json splits one benchmark line across several output events; the
+// parser must reassemble them before matching.
+const baselineJSON = `{"Action":"start","Package":"reactivenoc"}
+{"Action":"output","Package":"reactivenoc","Output":"BenchmarkChipRun    \t"}
+{"Action":"output","Package":"reactivenoc","Output":"       1\t  29512050 ns/op\t    311301 sim_cycles/sec\t   77111 allocs/op\n"}
+{"Action":"pass","Package":"reactivenoc"}
+`
+
+func parsed(t *testing.T, s string) map[string]metrics {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	return m
+}
+
+func TestParseTextAndJSON(t *testing.T) {
+	txt := parsed(t, baselineText)
+	if len(txt) != 3 {
+		t.Fatalf("parsed %d benchmarks from text, want 3", len(txt))
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so machines line up.
+	if txt["BenchmarkNetworkCycle"]["allocs/op"] != 2 {
+		t.Errorf("NetworkCycle allocs/op = %v, want 2", txt["BenchmarkNetworkCycle"]["allocs/op"])
+	}
+	js := parsed(t, baselineJSON)
+	if js["BenchmarkChipRun"]["sim_cycles/sec"] != 311301 {
+		t.Errorf("ChipRun sim_cycles/sec = %v, want 311301", js["BenchmarkChipRun"]["sim_cycles/sec"])
+	}
+}
+
+func TestGateFailsOnInjectedRegression(t *testing.T) {
+	base := parsed(t, baselineText)
+	// Inject the exact failures the gate exists to catch: a >10% throughput
+	// drop, an 11% alloc growth, and a zero-alloc benchmark regressing to 1.
+	pr := parsed(t, `goos: linux
+BenchmarkChipRun    	       1	  33512050 ns/op	    270000 sim_cycles/sec	   77000 allocs/op
+BenchmarkNetworkCycle 	       1	     10574 ns/op	    109782 sim_cycles/sec	       3 allocs/op
+BenchmarkBusySteady 	  100000	       375.2 ns/op	   2665000 sim_cycles/sec	       1 allocs/op
+`)
+	regs, _ := compare(base, pr, 0.10)
+	if len(regs) != 3 {
+		t.Fatalf("got %d regressions, want 3: %v", len(regs), regs)
+	}
+	want := map[string]string{
+		"BenchmarkChipRun":      "sim_cycles/sec",
+		"BenchmarkNetworkCycle": "allocs/op",
+		"BenchmarkBusySteady":   "allocs/op",
+	}
+	for _, r := range regs {
+		if want[r.bench] != r.unit {
+			t.Errorf("unexpected regression %v", r)
+		}
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := parsed(t, baselineText)
+	// 9% throughput drop and 2->2 allocs: inside the 10% envelope.
+	pr := parsed(t, `goos: linux
+BenchmarkChipRun    	       1	  31512050 ns/op	    284000 sim_cycles/sec	   77111 allocs/op
+BenchmarkNetworkCycle 	       1	     10574 ns/op	    120000 sim_cycles/sec	       2 allocs/op
+BenchmarkBusySteady 	  100000	       375.2 ns/op	   2665000 sim_cycles/sec	       0 allocs/op
+`)
+	if regs, _ := compare(base, pr, 0.10); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestMissingBenchmarksAreNotesNotFailures(t *testing.T) {
+	base := parsed(t, baselineText)
+	pr := parsed(t, `goos: linux
+BenchmarkChipRun    	       1	  29512050 ns/op	    311301 sim_cycles/sec	   77111 allocs/op
+BenchmarkBrandNew 	       1	       100 ns/op	   9999999 sim_cycles/sec	       0 allocs/op
+`)
+	regs, notes := compare(base, pr, 0.10)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if len(notes) != 3 { // BrandNew not in baseline; NetworkCycle and BusySteady dropped
+		t.Fatalf("got %d notes, want 3: %v", len(notes), notes)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"reactivenoc/internal/coherence"
 	"reactivenoc/internal/config"
 	"reactivenoc/internal/core"
+	"reactivenoc/internal/prof"
 	"reactivenoc/internal/workload"
 )
 
@@ -33,6 +34,10 @@ func main() {
 	traceN := flag.Int("trace", 0, "print the last N message-lifecycle events")
 	audit := flag.Bool("audit", false, "run the conservation/coherence audits after the run")
 	timeout := flag.Duration("timeout", 0, "wall-clock cap for the run (0 = none)")
+	nopool := flag.Bool("nopool", false, "disable flit/message recycling (bit-identical; for bisecting pool bugs)")
+	// -trace is the message-lifecycle trace above, so the runtime execution
+	// trace lives under -exectrace here.
+	profiles := prof.Flags("exectrace")
 	flag.Parse()
 
 	var c config.Chip
@@ -62,6 +67,10 @@ func main() {
 	spec.TraceCap = *traceN
 	spec.Audit = *audit
 	spec.Timeout = *timeout
+	spec.NoPool = *nopool
+	if err := profiles.Start(); err != nil {
+		fatal("%v", err)
+	}
 	r, err := chip.Run(spec)
 	if err != nil {
 		fatalRun(err)
@@ -84,6 +93,9 @@ func main() {
 		}
 		fmt.Printf("\nvs baseline: speedup %+.2f%%  energy %.3fx  area savings %+.2f%%\n",
 			(r.Speedup(b)-1)*100, r.Energy.Total()/b.Energy.Total(), r.AreaSavings*100)
+	}
+	if err := profiles.Stop(); err != nil {
+		fatal("%v", err)
 	}
 }
 

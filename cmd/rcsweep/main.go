@@ -30,6 +30,7 @@ import (
 
 	"reactivenoc/internal/config"
 	"reactivenoc/internal/exp"
+	"reactivenoc/internal/prof"
 )
 
 // formatter is what every experiment report implements.
@@ -50,7 +51,18 @@ func run() int {
 	failFast := flag.Bool("failfast", false, "stop scheduling new runs after the first failure")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text tables")
 	mdOut := flag.Bool("md", false, "emit the full evaluation as a markdown report (implies -exp all)")
+	profiles := prof.Flags("trace")
 	flag.Parse()
+
+	if err := profiles.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "rcsweep: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := profiles.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "rcsweep: %v\n", err)
+		}
+	}()
 
 	scale := exp.QuickScale()
 	if *full {

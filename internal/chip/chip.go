@@ -65,6 +65,10 @@ type Spec struct {
 	// every cycle — the reference scheduling the golden determinism suite
 	// cross-checks against.
 	DenseKernel bool
+	// NoPool disables flit/message recycling (see core.Options.NoPool):
+	// the reference allocation behaviour the pooled hot path is
+	// cross-checked against. Results are bit-identical either way.
+	NoPool bool
 }
 
 // DefaultSpec returns a spec with sane defaults for the given chip,
@@ -227,7 +231,9 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 	}()
 
 	m := mesh.New(spec.Chip.Width, spec.Chip.Height)
-	sys = coherence.NewSystem(m, spec.Variant.Opts, spec.Chip.MCs)
+	opts := spec.Variant.Opts
+	opts.NoPool = opts.NoPool || spec.NoPool
+	sys = coherence.NewSystem(m, opts, spec.Chip.MCs)
 	n := m.Nodes()
 
 	// Functional cache warming (the paper warms for 200M cycles): every

@@ -166,6 +166,48 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 }
 
+// TestPooledMatchesUnpooled cross-checks flit/message recycling against the
+// garbage-collected reference on a few cells: pooling only changes pointer
+// identity, never simulated behaviour, so every pinned aggregate and every
+// metric (including the pool's own alloc counters being the only divergence
+// allowed) must agree bit for bit.
+func TestPooledMatchesUnpooled(t *testing.T) {
+	rows := []int{0, 3, 14}
+	if testing.Short() {
+		rows = rows[:2]
+	}
+	for _, i := range rows {
+		row := goldenMatrix[i]
+		t.Run(row.chip+"/"+row.workload+"/"+row.variant, func(t *testing.T) {
+			t.Parallel()
+			pooled, err := Run(goldenSpec(row, t))
+			if err != nil {
+				t.Fatalf("pooled run failed: %v", err)
+			}
+			noPoolSpec := goldenSpec(row, t)
+			noPoolSpec.NoPool = true
+			unpooled, err := Run(noPoolSpec)
+			if err != nil {
+				t.Fatalf("unpooled run failed: %v", err)
+			}
+			checkGolden(t, row, pooled)
+			checkGolden(t, row, unpooled)
+			if pooled.SimCycles != unpooled.SimCycles {
+				t.Errorf("SimCycles pooled %d != unpooled %d", pooled.SimCycles, unpooled.SimCycles)
+			}
+			for name, v := range pooled.Metrics.Vals {
+				if name == "noc/pool_flit_allocs" || name == "noc/pool_flit_reuses" ||
+					name == "noc/pool_msg_allocs" || name == "noc/pool_msg_reuses" {
+					continue // the pool's own bookkeeping differs by design
+				}
+				if got := unpooled.Metrics.Value(name); got != v {
+					t.Errorf("metric %s: pooled %d, unpooled %d", name, v, got)
+				}
+			}
+		})
+	}
+}
+
 // TestDenseMatchesSparse cross-checks the two scheduling modes against each
 // other on a few cells: dense (tick everything, the seed engine's
 // behaviour) and sparse (skip quiescent components) must agree on every

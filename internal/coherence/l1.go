@@ -24,7 +24,10 @@ type L1Ctrl struct {
 	c   *cache.Cache
 	q   procQueue
 
-	txn *l1Txn
+	// txn points at txnBuf while a miss is outstanding (at most one: the
+	// core is blocking), so starting a miss never allocates.
+	txn    *l1Txn
+	txnBuf l1Txn
 	// wb is the write-back buffer: evicted E/M lines awaiting L2_WB_ACK.
 	// Forwards and invalidations are served from it, so data is never
 	// lost to a replacement race.
@@ -72,7 +75,8 @@ func (l *L1Ctrl) Access(a cache.Addr, write bool, now sim.Cycle) bool {
 		}
 		// Write to a shared line: upgrade through a GetX miss.
 	}
-	l.txn = &l1Txn{addr: addr, write: write}
+	l.txnBuf = l1Txn{addr: addr, write: write}
+	l.txn = &l.txnBuf
 	if _, pending := l.wb[addr]; pending {
 		l.txn.waitWB = true // reissue after the write-back drains
 		return false
@@ -101,16 +105,19 @@ func (l *L1Ctrl) deliver(msg *noc.Message, now sim.Cycle) {
 // wakes the controller.
 func (l *L1Ctrl) Quiescent() bool { return l.q.empty() }
 
-// Tick processes messages whose L1 access latency has elapsed.
+// Tick processes messages whose L1 access latency has elapsed. The L1
+// never retains a message past handle, so every one retires to the
+// network's free-list here.
 func (l *L1Ctrl) Tick(now sim.Cycle) {
 	for _, msg := range l.q.due(now) {
 		l.handle(msg, now)
+		l.sys.Net.FreeMessage(msg)
 	}
 }
 
 func (l *L1Ctrl) handle(msg *noc.Message, now sim.Cycle) {
 	addr := cache.Addr(msg.Block)
-	pl, _ := msg.Payload.(Payload)
+	pl := UnpackPayload(msg.Payload)
 	switch MsgType(msg.Type) {
 	case MsgL2Reply:
 		l.completeMiss(addr, pl, now)

@@ -86,27 +86,36 @@ func (l *L2Ctrl) deliver(msg *noc.Message, now sim.Cycle) {
 // them every cycle.
 func (l *L2Ctrl) Quiescent() bool { return l.q.empty() && len(l.txns) == 0 }
 
-// Tick processes due messages and accounts blocked-line time.
+// Tick processes due messages and accounts blocked-line time. A message
+// handle reports as consumed retires to the network's free-list; requests
+// stay alive inside the transaction that serves them (txns, waiting, or a
+// requeue) and retire when that transaction completes.
 func (l *L2Ctrl) Tick(now sim.Cycle) {
 	for _, msg := range l.q.due(now) {
-		l.handle(msg, now)
+		if l.handle(msg, now) {
+			l.sys.Net.FreeMessage(msg)
+		}
 	}
 	l.BlockedCycles += int64(len(l.txns))
 }
 
-func (l *L2Ctrl) handle(msg *noc.Message, now sim.Cycle) {
+// handle processes one due message and reports whether the bank is done
+// with it (true = caller frees). GetS/GetX hand ownership to serve;
+// blocked requests park in the waiting queue.
+func (l *L2Ctrl) handle(msg *noc.Message, now sim.Cycle) bool {
 	addr := cache.Addr(msg.Block)
 	switch MsgType(msg.Type) {
 	case MsgGetS, MsgGetX, MsgWBData:
 		if _, blocked := l.txns[addr]; blocked {
 			l.waiting[addr] = append(l.waiting[addr], msg)
-			return
+			return false
 		}
 		if MsgType(msg.Type) == MsgWBData {
 			l.handleWB(msg, addr, now)
-		} else {
-			l.serve(msg, addr, now)
+			return true
 		}
+		l.serve(msg, addr, now)
+		return false
 	case MsgDataAck:
 		l.handleDataAck(msg, addr, now)
 	case MsgInvAck, MsgInvAckData:
@@ -120,11 +129,12 @@ func (l *L2Ctrl) handle(msg *noc.Message, now sim.Cycle) {
 	default:
 		panic(fmt.Sprintf("coherence: L2 %d cannot handle %v", l.id, MsgType(msg.Type)))
 	}
+	return true
 }
 
 // serve processes a GetS/GetX against an unblocked line.
 func (l *L2Ctrl) serve(msg *noc.Message, addr cache.Addr, now sim.Cycle) {
-	pl := msg.Payload.(Payload)
+	pl := UnpackPayload(msg.Payload)
 	requestor := mesh.NodeID(pl.Requestor)
 	write := MsgType(msg.Type) == MsgGetX
 
@@ -186,7 +196,7 @@ func (l *L2Ctrl) serve(msg *noc.Message, addr cache.Addr, now sim.Cycle) {
 // blocks the line until the L1_DATA_ACK or — when the reply is guaranteed
 // to ride a complete circuit — eliminates the ack and unblocks at once.
 func (l *L2Ctrl) grantData(req *noc.Message, line *cache.Line, addr cache.Addr, exclusive bool, now sim.Cycle) {
-	pl := req.Payload.(Payload)
+	pl := UnpackPayload(req.Payload)
 	requestor := mesh.NodeID(pl.Requestor)
 	write := MsgType(req.Type) == MsgGetX
 
@@ -206,6 +216,8 @@ func (l *L2Ctrl) grantData(req *noc.Message, line *cache.Line, addr cache.Addr, 
 		l.sys.Lat.OtherReplies.Add(0, 0)
 		line.Busy = false
 		l.unblock(addr, now)
+		// No ack will come back for req: the request retires here.
+		l.sys.Net.FreeMessage(req)
 		return
 	}
 	line.Busy = true
@@ -219,8 +231,8 @@ func (l *L2Ctrl) handleDataAck(msg *noc.Message, addr cache.Addr, now sim.Cycle)
 	}
 	switch txn.phase {
 	case phFwd:
-		pl := txn.req.Payload.(Payload)
-		ack, _ := msg.Payload.(Payload)
+		pl := UnpackPayload(txn.req.Payload)
+		ack := UnpackPayload(msg.Payload)
 		line, ok := l.c.Peek(addr)
 		if !ok {
 			panic(fmt.Sprintf("coherence: L2 %d lost line %#x mid-forward", l.id, addr))
@@ -250,6 +262,8 @@ func (l *L2Ctrl) handleDataAck(msg *noc.Message, addr cache.Addr, now sim.Cycle)
 		panic(fmt.Sprintf("coherence: L2 %d data ack in phase %d", l.id, txn.phase))
 	}
 	l.unblock(addr, now)
+	// The ack closes the transaction; the original request retires.
+	l.sys.Net.FreeMessage(txn.req)
 }
 
 func (l *L2Ctrl) handleInvAck(msg *noc.Message, addr cache.Addr, now sim.Cycle) {

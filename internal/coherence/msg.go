@@ -173,7 +173,9 @@ const (
 	MemLatency sim.Cycle = 160
 )
 
-// Payload is the transaction context carried inside noc.Message.Payload.
+// Payload is the transaction context carried inside noc.Message.Payload,
+// packed into a uint64 so sending never boxes (Pack/UnpackPayload are
+// lossless inverses; see TestPayloadPackRoundTrip).
 type Payload struct {
 	// Requestor is the original requesting tile (needed by forwards).
 	Requestor int
@@ -194,4 +196,51 @@ type Payload struct {
 	// CircuitUndone tags the eventual L1-to-L1 reply for the Figure-6
 	// "undone" category when the L2 tore down the requestor's circuit.
 	CircuitUndone bool
+}
+
+// Payload bit layout: Requestor in the low 16 bits, one flag bit each above.
+const (
+	plWrite uint64 = 1 << (16 + iota)
+	plExclusive
+	plDirty
+	plOwnerKept
+	plNoAck
+	plCircuitUndone
+)
+
+// Pack encodes the payload into the word carried by noc.Message.
+func (p Payload) Pack() uint64 {
+	v := uint64(uint16(p.Requestor))
+	if p.Write {
+		v |= plWrite
+	}
+	if p.Exclusive {
+		v |= plExclusive
+	}
+	if p.Dirty {
+		v |= plDirty
+	}
+	if p.OwnerKept {
+		v |= plOwnerKept
+	}
+	if p.NoAck {
+		v |= plNoAck
+	}
+	if p.CircuitUndone {
+		v |= plCircuitUndone
+	}
+	return v
+}
+
+// UnpackPayload decodes a word packed by Pack.
+func UnpackPayload(v uint64) Payload {
+	return Payload{
+		Requestor:     int(uint16(v)),
+		Write:         v&plWrite != 0,
+		Exclusive:     v&plExclusive != 0,
+		Dirty:         v&plDirty != 0,
+		OwnerKept:     v&plOwnerKept != 0,
+		NoAck:         v&plNoAck != 0,
+		CircuitUndone: v&plCircuitUndone != 0,
+	}
 }

@@ -193,19 +193,50 @@ func TestInvOnWriteBackBufferedLine(t *testing.T) {
 func TestSendRejectsNothing(t *testing.T) {
 	// noc.Message construction path: eligible requests carry estimates.
 	b := newTB(t, 2, 2, core.Options{Mechanism: core.MechComplete, MaxCircuitsPerPort: 5})
-	var seen *noc.Message
+	// Snapshot the message at delivery: the bank recycles it once the
+	// transaction completes, so holding the pointer would read a zeroed
+	// free-list object.
+	var seen noc.Message
 	b.sys.Net.NI(3).SetReceiver(func(m *noc.Message, now int64) {
-		if seen == nil && m.Type == int(MsgGetS) {
-			seen = m
+		if seen.Type == 0 && m.Type == int(MsgGetS) {
+			seen = *m
 		}
 		b.sys.L2s[3].deliver(m, now)
 	})
 	b.access(0, b.remoteAddr(3, 0), false)
 	b.drain()
-	if seen == nil {
+	if seen.Type == 0 {
 		t.Fatal("GetS not observed")
 	}
 	if !seen.WantCircuit || seen.ExpectedReplySize != 5 || seen.ExpectedProcDelay != L2HitLatency {
 		t.Fatalf("request metadata wrong: %+v", seen)
+	}
+}
+
+// TestPayloadPackRoundTrip exhaustively checks every flag combination (and
+// the requestor-id corners) through Pack/UnpackPayload: the packed uint64
+// replaced an interface-boxed payload on the hot path, so any lost bit would
+// silently corrupt the protocol.
+func TestPayloadPackRoundTrip(t *testing.T) {
+	for _, req := range []int{0, 1, 15, 63, 1<<16 - 1} {
+		for bits := 0; bits < 1<<6; bits++ {
+			p := Payload{
+				Requestor:     req,
+				Write:         bits&1 != 0,
+				Exclusive:     bits&2 != 0,
+				Dirty:         bits&4 != 0,
+				OwnerKept:     bits&8 != 0,
+				NoAck:         bits&16 != 0,
+				CircuitUndone: bits&32 != 0,
+			}
+			if got := UnpackPayload(p.Pack()); got != p {
+				t.Fatalf("round trip lost data: %+v -> %#x -> %+v", p, p.Pack(), got)
+			}
+		}
+	}
+	// The zero payload must pack to zero: freshly pooled messages carry a
+	// zeroed Payload field and must decode as the empty payload.
+	if (Payload{}).Pack() != 0 {
+		t.Errorf("zero payload packs to %#x, want 0", (Payload{}).Pack())
 	}
 }

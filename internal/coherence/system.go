@@ -197,13 +197,12 @@ func (s *System) send(t MsgType, src, dst mesh.NodeID, addr cache.Addr, pl Paylo
 	if t.IsReply() {
 		vn = noc.VNReply
 	}
-	msg := &noc.Message{
-		Type: int(t),
-		Src:  src, Dst: dst,
-		VN: vn, Size: t.SizeFlits(),
-		Block:   uint64(addr),
-		Payload: pl,
-	}
+	msg := s.Net.NewMessage()
+	msg.Type = int(t)
+	msg.Src, msg.Dst = src, dst
+	msg.VN, msg.Size = vn, t.SizeFlits()
+	msg.Block = uint64(addr)
+	msg.Payload = pl.Pack()
 	if pl.CircuitUndone {
 		msg.OutcomeHint = uint8(core.OutcomeUndone)
 	}
@@ -403,6 +402,10 @@ func (s *System) Busy() bool {
 // every delivered message is handled a fixed access latency after arrival.
 type procQueue struct {
 	items []procItem
+	// scratch is reused across due calls so the per-tick drain allocates
+	// nothing in steady state. Handlers may push while iterating the
+	// returned slice (pushes go to items), but must not call due again.
+	scratch []*noc.Message
 }
 
 type procItem struct {
@@ -417,7 +420,7 @@ func (q *procQueue) push(at sim.Cycle, msg *noc.Message) {
 // due removes and returns the messages scheduled at or before now,
 // preserving insertion order.
 func (q *procQueue) due(now sim.Cycle) []*noc.Message {
-	var out []*noc.Message
+	out := q.scratch[:0]
 	rest := q.items[:0]
 	for _, it := range q.items {
 		if it.at <= now {
@@ -427,6 +430,7 @@ func (q *procQueue) due(now sim.Cycle) []*noc.Message {
 		}
 	}
 	q.items = rest
+	q.scratch = out
 	return out
 }
 

@@ -91,6 +91,12 @@ type Options struct {
 	// the reply always waits for its slot.
 	PostponePerHop int
 
+	// NoPool disables flit/message recycling in the network (the
+	// allocation kill-switch; RC_NOPOOL=1 forces it process-wide).
+	// Pooled and unpooled runs are bit-identical — this exists only to
+	// bisect pooling bugs and to cross-check that claim in tests.
+	NoPool bool
+
 	// SpeculativeRouter enables the related-work comparator of the
 	// paper's references [16-19]: no circuits at all, but head flits may
 	// cross an uncontended router in a single cycle. Only valid with

@@ -86,6 +86,10 @@ type Manager struct {
 	regs   []map[circKey]*record
 	walks  map[*noc.Message]*walk
 	rides  map[*noc.Message]*record
+	// walkFree recycles walk objects: a walk lives strictly between the
+	// first OnRequestVA on a path and recordCircuit/probe delivery, so a
+	// LIFO free-list is deterministic and keeps reservation allocation-free.
+	walkFree []*walk
 
 	// Stats aggregates the circuit-construction outcomes (Figure 6,
 	// Table 5) for the run.
@@ -131,6 +135,7 @@ func NewManager(opts Options, m mesh.Mesh) *Manager {
 // routers.
 func NetConfigFor(m mesh.Mesh, opts Options) noc.NetConfig {
 	cfg := noc.BaselineConfig(m)
+	cfg.NoPool = opts.NoPool
 	switch opts.Mechanism {
 	case MechNone:
 		cfg.Speculative = opts.SpeculativeRouter
@@ -173,6 +178,26 @@ func (mg *Manager) pathHops(msg *noc.Message) int {
 	return mg.m.Hops(msg.Src, msg.Dst)
 }
 
+// newWalk returns a reset walk from the free-list (or a fresh one).
+func (mg *Manager) newWalk() *walk {
+	var w *walk
+	if n := len(mg.walkFree); n > 0 {
+		w = mg.walkFree[n-1]
+		mg.walkFree[n-1] = nil
+		mg.walkFree = mg.walkFree[:n-1]
+	} else {
+		w = new(walk)
+	}
+	*w = walk{prevVC: -1, injLo: -1 << 60, injHi: 1 << 60}
+	return w
+}
+
+func (mg *Manager) freeWalk(w *walk) {
+	if w != nil {
+		mg.walkFree = append(mg.walkFree, w)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Router-side hooks (noc.CircuitHandler)
 // ---------------------------------------------------------------------------
@@ -183,7 +208,7 @@ func (mg *Manager) pathHops(msg *noc.Message) int {
 func (mg *Manager) OnRequestVA(id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, now sim.Cycle) {
 	w := mg.walks[msg]
 	if w == nil {
-		w = &walk{prevVC: -1, injLo: -1 << 60, injHi: 1 << 60}
+		w = mg.newWalk()
 		mg.walks[msg] = w
 	}
 	w.routers++
@@ -222,7 +247,7 @@ func (mg *Manager) reserveProbe(id mesh.NodeID, msg *noc.Message, in, out mesh.D
 		fail(&mg.Stats.ReserveFailedConflict)
 		return
 	}
-	e := &entry{
+	e := entry{
 		built: true, dest: msg.Dst, block: msg.Block,
 		out: out, outVC: mg.circuitVC(), vc: mg.circuitVC(),
 		winStart: 0, winEnd: noWindow,
@@ -237,7 +262,7 @@ func (mg *Manager) reserveProbe(id mesh.NodeID, msg *noc.Message, in, out mesh.D
 }
 
 func (mg *Manager) reserveIdeal(id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, w *walk, now sim.Cycle) {
-	e := &entry{
+	e := entry{
 		built: true, dest: msg.Src, block: msg.Block,
 		out: in, outVC: mg.circuitVC(), vc: mg.circuitVC(),
 		winStart: 0, winEnd: noWindow,
@@ -270,7 +295,7 @@ func (mg *Manager) reserveComplete(id mesh.NodeID, msg *noc.Message, in, out mes
 	}
 
 	outVC := cvc
-	e := &entry{
+	e := entry{
 		built: true, dest: msg.Src, block: msg.Block,
 		out: in, outVC: outVC, vc: cvc,
 		winStart: winStart, winEnd: winEnd,
@@ -376,7 +401,7 @@ func (mg *Manager) reserveFragmented(id mesh.NodeID, msg *noc.Message, in, out m
 		w.lastReserved = false
 		return
 	}
-	e := &entry{
+	e := entry{
 		built: true, dest: msg.Src, block: msg.Block,
 		out: in, outVC: w.prevVC, vc: vc,
 		winStart: 0, winEnd: noWindow,
@@ -586,14 +611,13 @@ func (mg *Manager) injectProbeMode(ni mesh.NodeID, msg *noc.Message, now sim.Cyc
 		return now
 	}
 	if rec == nil {
-		probe := &noc.Message{
-			ID:  mg.net.NextMsgID(),
-			Src: ni, Dst: msg.Dst,
-			VN: noc.VNReply, Size: 1,
-			Block:       msg.Block,
-			WantCircuit: true,
-			SetupProbe:  true,
-		}
+		probe := mg.net.NewMessage()
+		probe.ID = mg.net.NextMsgID()
+		probe.Src, probe.Dst = ni, msg.Dst
+		probe.VN, probe.Size = noc.VNReply, 1
+		probe.Block = msg.Block
+		probe.WantCircuit = true
+		probe.SetupProbe = true
 		mg.net.NI(ni).SendFront(probe, now)
 		mg.Stats.ProbesSent++
 		mg.regs[ni][key] = &record{key: key, src: ni}
@@ -703,6 +727,7 @@ func (mg *Manager) classify(msg *noc.Message, o Outcome) {
 // will start, and re-injects scrounger messages toward their destination.
 func (mg *Manager) OnDeliver(ni mesh.NodeID, msg *noc.Message, now sim.Cycle) bool {
 	if msg.SetupProbe {
+		mg.freeWalk(mg.walks[msg])
 		delete(mg.walks, msg)
 		// Tell the waiting reply (at the probe's source) how the setup
 		// went — instantaneous here, an optimistic short-cut for the
@@ -712,6 +737,8 @@ func (mg *Manager) OnDeliver(ni mesh.NodeID, msg *noc.Message, now sim.Cycle) bo
 			rec.failed = msg.BuildFailed
 			rec.complete = !msg.BuildFailed
 		}
+		// The probe dies here: it exists only to carry the walk.
+		mg.net.FreeMessage(msg)
 		return false
 	}
 	if msg.VN == noc.VNRequest {
@@ -754,8 +781,10 @@ func (mg *Manager) recordCircuit(ni mesh.NodeID, msg *noc.Message) {
 	w := mg.walks[msg]
 	delete(mg.walks, msg)
 	if w == nil {
-		w = &walk{prevVC: -1}
+		// Zero-hop paths never touched a router; synthesize an empty walk.
+		w = mg.newWalk()
 	}
+	defer mg.freeWalk(w)
 	key := circKey{dest: msg.Src, block: msg.Block}
 	path := mg.pathHops(msg) + 1
 	rec := &record{key: key, path: path, src: ni}

@@ -586,7 +586,7 @@ func TestAuditQuiescentCleanAndDirty(t *testing.T) {
 	}
 	// Forge an orphan entry: the audit must flag it.
 	r.mgr.tables[3].insert(mesh.East,
-		&entry{built: true, dest: 1, block: 0x40, out: mesh.West, winEnd: noWindow}, 5, 0)
+		entry{built: true, dest: 1, block: 0x40, out: mesh.West, winEnd: noWindow}, 5, 0)
 	if err := r.mgr.AuditQuiescent(r.kernel.Now()); err == nil {
 		t.Fatal("leaked entry not detected")
 	}

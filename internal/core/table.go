@@ -96,22 +96,25 @@ func (t *table) conflict(d mesh.Dir, out mesh.Dir, s, tEnd sim.Cycle, now sim.Cy
 }
 
 // insert stores a reservation at input d, reclaiming freed or expired
-// slots. cap <= 0 means unbounded (ideal). It returns the entry and its
-// ordinal (how many active circuits that input now holds), or nil when the
-// storage is full.
-func (t *table) insert(d mesh.Dir, e *entry, capacity int, now sim.Cycle) (*entry, int) {
+// slots. cap <= 0 means unbounded (ideal). It returns the stored entry and
+// its ordinal (how many active circuits that input now holds), or nil when
+// the storage is full. Taking e by value lets a reclaimed slot's object be
+// overwritten in place, so steady-state reservation allocates nothing.
+func (t *table) insert(d mesh.Dir, e entry, capacity int, now sim.Cycle) (*entry, int) {
 	slots := t.inputs[d]
 	for i, old := range slots {
 		if !old.built || old.expired(now) {
-			slots[i] = e
-			return e, t.activeCount(d, now)
+			*slots[i] = e
+			return slots[i], t.activeCount(d, now)
 		}
 	}
 	if capacity > 0 && len(slots) >= capacity {
 		return nil, 0
 	}
-	t.inputs[d] = append(slots, e)
-	return e, t.activeCount(d, now)
+	ne := new(entry)
+	*ne = e
+	t.inputs[d] = append(slots, ne)
+	return ne, t.activeCount(d, now)
 }
 
 // freeVC returns a reserved-VC index at input d that no active entry holds,

@@ -8,12 +8,12 @@ import (
 	"reactivenoc/internal/noc"
 )
 
-func mkEntry(dest mesh.NodeID, block uint64, out mesh.Dir, s, e int64) *entry {
+func mkEntry(dest mesh.NodeID, block uint64, out mesh.Dir, s, e int64) entry {
 	win := noWindow
 	if e >= 0 {
 		win = e
 	}
-	return &entry{built: true, dest: dest, block: block, out: out, winStart: s, winEnd: win, outVC: 1, vc: 1}
+	return entry{built: true, dest: dest, block: block, out: out, winStart: s, winEnd: win, outVC: 1, vc: 1}
 }
 
 func TestTableInsertAndFind(t *testing.T) {
@@ -23,7 +23,7 @@ func TestTableInsertAndFind(t *testing.T) {
 	if ins == nil || ord != 1 {
 		t.Fatalf("insert failed: %v ord %d", ins, ord)
 	}
-	if tb.find(mesh.East, 3, 0x40, 10) != e {
+	if tb.find(mesh.East, 3, 0x40, 10) != ins {
 		t.Fatal("find missed the entry")
 	}
 	if tb.find(mesh.West, 3, 0x40, 10) != nil {
@@ -84,13 +84,12 @@ func TestExpiredEntryInUseStaysLive(t *testing.T) {
 	// A message mid-flight keeps its entry alive past the window end, so
 	// body flits never lose their circuit.
 	tb := &table{}
-	e := mkEntry(1, 0x40, mesh.West, 10, 20)
-	tb.insert(mesh.East, e, 1, 0)
-	e.inUse = &noc.Message{ID: 7}
+	ins, _ := tb.insert(mesh.East, mkEntry(1, 0x40, mesh.West, 10, 20), 1, 0)
+	ins.inUse = &noc.Message{ID: 7}
 	if tb.find(mesh.East, 1, 0x40, 25) == nil {
 		t.Fatal("claimed entry must outlive its window while in use")
 	}
-	e.inUse = nil
+	ins.inUse = nil
 	if tb.find(mesh.East, 1, 0x40, 25) != nil {
 		t.Fatal("released entry past its window should expire")
 	}

@@ -127,7 +127,7 @@ func TestTimedWindowDelaySearchShiftsPastConflicts(t *testing.T) {
 	// a different input port and the same output.
 	id := mesh.NodeID(1)
 	base := sim.Cycle(100) + (reqHopLatency+repHopLatency)*2 + 7 + estimateOverhead
-	foreign := &entry{
+	foreign := entry{
 		built: true, dest: 9, block: 0x999, out: mesh.West,
 		winStart: base - 2, winEnd: base + 8,
 	}

@@ -43,16 +43,17 @@ func (n *Network) DumpState() string {
 	for _, r := range n.routers {
 		for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
 			if p := r.in[d]; p != nil {
-				for _, e := range p.byQ {
+				for i := 0; i < p.byQ.Len(); i++ {
+					e := p.byQ.At(i)
 					add("router %d in %v: bypass flit msg=%d seq=%d out=%v\n",
 						r.id, d, e.f.Msg.ID, e.f.Seq, e.out)
 				}
 				for vn := range p.vcs {
 					for vci, vc := range p.vcs[vn] {
-						if len(vc.buf) > 0 {
-							f := vc.buf[0]
+						if vc.buf.Len() > 0 {
+							f := vc.buf.Front()
 							add("router %d in %v vn%d vc%d: %d flits, front msg=%d seq=%d state=%d route=%v\n",
-								r.id, d, vn, vci, len(vc.buf), f.Msg.ID, f.Seq, vc.state, vc.route)
+								r.id, d, vn, vci, vc.buf.Len(), f.Msg.ID, f.Seq, vc.state, vc.route)
 						}
 					}
 				}
@@ -84,20 +85,20 @@ func (n *Network) DumpState() string {
 func (r *Router) audit() error {
 	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
 		if p := r.in[d]; p != nil {
-			if len(p.byQ) != 0 {
-				return fmt.Errorf("noc: router %d port %v retains %d bypass flits", r.id, d, len(p.byQ))
+			if p.byQ.Len() != 0 {
+				return fmt.Errorf("noc: router %d port %v retains %d bypass flits", r.id, d, p.byQ.Len())
 			}
-			if len(p.spec) != 0 {
-				return fmt.Errorf("noc: router %d port %v retains %d speculative routes", r.id, d, len(p.spec))
+			if p.spec.live() != 0 {
+				return fmt.Errorf("noc: router %d port %v retains %d speculative routes", r.id, d, p.spec.live())
 			}
 			if p.occupancy != 0 {
 				return fmt.Errorf("noc: router %d port %v occupancy %d at quiescence", r.id, d, p.occupancy)
 			}
 			for vn := range p.vcs {
 				for vci, vc := range p.vcs[vn] {
-					if len(vc.buf) != 0 {
+					if vc.buf.Len() != 0 {
 						return fmt.Errorf("noc: router %d port %v vn%d vc%d retains %d flits",
-							r.id, d, vn, vci, len(vc.buf))
+							r.id, d, vn, vci, vc.buf.Len())
 					}
 					if vc.state != vcIdle {
 						return fmt.Errorf("noc: router %d port %v vn%d vc%d stuck in state %d",

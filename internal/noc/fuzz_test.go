@@ -85,12 +85,12 @@ func TestAuditCatchesForgedState(t *testing.T) {
 	r := h.net.Router(0)
 	// Forge a stuck flit in a buffer.
 	p := r.in[mesh.Local]
-	p.vcs[VNRequest][0].buf = append(p.vcs[VNRequest][0].buf,
+	p.vcs[VNRequest][0].buf.Push(
 		&Flit{Msg: &Message{ID: 99, Size: 1}, Head: true, Tail: true})
 	if err := h.net.AuditQuiescent(); err == nil {
 		t.Fatal("forged buffered flit not detected")
 	}
-	p.vcs[VNRequest][0].buf = nil
+	p.vcs[VNRequest][0].buf.Pop()
 	// Forge a held output VC.
 	r.out[mesh.East].owner[VNReply][1] = outOwner{valid: true}
 	if err := h.net.AuditQuiescent(); err == nil {

@@ -16,7 +16,7 @@ const linkDelay = 2
 // Link is a unidirectional flit pipeline between a router output port and
 // the neighbouring input port (or an NI). At most one flit enters per cycle.
 type Link struct {
-	q []linkSlot
+	q ring[linkSlot]
 	// lastSend guards the one-flit-per-cycle physical constraint.
 	lastSend sim.Cycle
 	hasSent  bool
@@ -46,7 +46,7 @@ func (l *Link) SendDelayed(f *Flit, now sim.Cycle, extra sim.Cycle) {
 	}
 	l.hasSent = true
 	l.lastSend = now
-	l.q = append(l.q, linkSlot{f: f, readyAt: now + linkDelay + extra})
+	l.q.Push(linkSlot{f: f, readyAt: now + linkDelay + extra})
 	if l.wake != nil {
 		l.wake()
 	}
@@ -54,22 +54,20 @@ func (l *Link) SendDelayed(f *Flit, now sim.Cycle, extra sim.Cycle) {
 
 // Recv returns the flit that completes traversal at cycle now, or nil.
 func (l *Link) Recv(now sim.Cycle) *Flit {
-	if len(l.q) == 0 || l.q[0].readyAt > now {
+	if l.q.Len() == 0 || l.q.Front().readyAt > now {
 		return nil
 	}
-	f := l.q[0].f
-	l.q = l.q[1:]
-	return f
+	return l.q.Pop().f
 }
 
 // Busy reports whether any flit is still in flight.
-func (l *Link) Busy() bool { return len(l.q) > 0 }
+func (l *Link) Busy() bool { return l.q.Len() > 0 }
 
 // CreditLink carries flow-control credits (and piggybacked circuit-undo
 // tokens) in the direction opposite to its paired flit link. Credits have
 // the same wire latency as flits.
 type CreditLink struct {
-	q    []creditSlot
+	q    ring[creditSlot]
 	wake func()
 }
 
@@ -85,28 +83,21 @@ type creditSlot struct {
 // share a cycle: a buffer credit and a piggybacked undo, or undo tokens for
 // distinct circuits, travel on dedicated sideband wires.
 func (l *CreditLink) Send(c Credit, now sim.Cycle) {
-	l.q = append(l.q, creditSlot{c: c, readyAt: now + linkDelay})
+	l.q.Push(creditSlot{c: c, readyAt: now + linkDelay})
 	if l.wake != nil {
 		l.wake()
 	}
 }
 
-// Recv returns all credits arriving at cycle now.
-func (l *CreditLink) Recv(now sim.Cycle) []Credit {
-	n := 0
-	for n < len(l.q) && l.q[n].readyAt <= now {
-		n++
+// Recv pops the next credit arriving at or before cycle now. Receivers loop
+// until ok is false; the pop-one shape keeps the drain allocation-free
+// (the old batch API built a fresh []Credit per cycle per port).
+func (l *CreditLink) Recv(now sim.Cycle) (Credit, bool) {
+	if l.q.Len() == 0 || l.q.Front().readyAt > now {
+		return Credit{}, false
 	}
-	if n == 0 {
-		return nil
-	}
-	out := make([]Credit, n)
-	for i := 0; i < n; i++ {
-		out[i] = l.q[i].c
-	}
-	l.q = l.q[n:]
-	return out
+	return l.q.Pop().c, true
 }
 
 // Busy reports whether any credit is still in flight.
-func (l *CreditLink) Busy() bool { return len(l.q) > 0 }
+func (l *CreditLink) Busy() bool { return l.q.Len() > 0 }

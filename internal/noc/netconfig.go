@@ -47,6 +47,13 @@ type NetConfig struct {
 	// using paths without prior reservation, which only work if there is
 	// no contention". Mutually exclusive with a circuit handler.
 	Speculative bool
+
+	// NoPool disables the flit/message free-lists, keeping the allocating
+	// path as a reference (kill-switch; env RC_NOPOOL=1 forces it
+	// process-wide). Pooled and unpooled runs are bit-identical — the
+	// free-lists only change where objects come from, never what the
+	// simulation does with them.
+	NoPool bool
 }
 
 // Validate checks internal consistency.

@@ -17,6 +17,7 @@ type Network struct {
 	nis     []*NI
 	ev      PowerEvents
 	msgID   uint64
+	pool    pools
 }
 
 // NewNetwork builds the network. handler and hook may be nil (baseline).
@@ -28,12 +29,13 @@ func NewNetwork(cfg NetConfig, handler CircuitHandler, hook NIHook) *Network {
 		panic("noc: speculative routers and reactive circuits are alternative designs; pick one")
 	}
 	n := &Network{cfg: cfg}
+	n.pool.disabled = cfg.NoPool || envNoPool()
 	m := cfg.Mesh
 	n.routers = make([]*Router, m.Nodes())
 	n.nis = make([]*NI, m.Nodes())
 	for id := mesh.NodeID(0); int(id) < m.Nodes(); id++ {
 		n.routers[id] = newRouter(id, &n.cfg, handler, &n.ev)
-		n.nis[id] = newNI(id, &n.cfg, &n.ev, hook)
+		n.nis[id] = newNI(id, &n.cfg, &n.ev, hook, &n.pool)
 	}
 
 	// Wire the local ports: NI -> router (injection) and router -> NI
@@ -116,8 +118,15 @@ func (n *Network) Register(k *sim.Kernel) {
 	}
 }
 
-// DescribeMetrics registers the network's counters with reg.
-func (n *Network) DescribeMetrics(reg *sim.Registry) { n.ev.Describe(reg) }
+// DescribeMetrics registers the network's counters with reg, including the
+// free-list effectiveness gauges.
+func (n *Network) DescribeMetrics(reg *sim.Registry) {
+	n.ev.Describe(reg)
+	reg.Counter("noc/pool_flit_allocs", &n.pool.FlitAllocs)
+	reg.Counter("noc/pool_flit_reuses", &n.pool.FlitReuses)
+	reg.Counter("noc/pool_msg_allocs", &n.pool.MsgAllocs)
+	reg.Counter("noc/pool_msg_reuses", &n.pool.MsgReuses)
+}
 
 // Tick advances every router and NI one cycle.
 func (n *Network) Tick(now sim.Cycle) {

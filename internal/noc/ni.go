@@ -17,20 +17,21 @@ type Receiver func(m *Message, now sim.Cycle)
 // Messages whose source and destination tile coincide never enter the
 // network and are delivered locally after one cycle.
 type NI struct {
-	id  mesh.NodeID
-	cfg *NetConfig
-	ev  *PowerEvents
+	id   mesh.NodeID
+	cfg  *NetConfig
+	ev   *PowerEvents
+	pool *pools
 
 	toRouter   *Link
 	fromRouter *Link
 	creditIn   *CreditLink
 
-	queues  [NumVNs][]*Message
-	open    [NumVNs]*openMsg
+	queues  [NumVNs]ring[*Message]
+	open    [NumVNs]openMsg
 	credits [NumVNs][]int
 	vnPtr   int
 
-	local []localDelivery
+	local ring[localDelivery]
 
 	hook   NIHook
 	recv   Receiver
@@ -42,11 +43,13 @@ type NI struct {
 	expectSeq map[*Message]int
 }
 
+// openMsg is the message currently serializing into flits on a virtual
+// network. Flits are drawn from the network's free-list one per cycle as
+// they inject, rather than pre-expanded into a []*Flit per message.
 type openMsg struct {
-	msg   *Message
-	flits []*Flit
-	next  int
-	vc    int
+	msg  *Message
+	next int
+	vc   int
 }
 
 type localDelivery struct {
@@ -54,8 +57,8 @@ type localDelivery struct {
 	at  sim.Cycle
 }
 
-func newNI(id mesh.NodeID, cfg *NetConfig, ev *PowerEvents, hook NIHook) *NI {
-	ni := &NI{id: id, cfg: cfg, ev: ev, hook: hook}
+func newNI(id mesh.NodeID, cfg *NetConfig, ev *PowerEvents, hook NIHook, pool *pools) *NI {
+	ni := &NI{id: id, cfg: cfg, ev: ev, hook: hook, pool: pool}
 	for vn := 0; vn < NumVNs; vn++ {
 		ni.credits[vn] = make([]int, cfg.VCsPerVN[vn])
 		for vc := range ni.credits[vn] {
@@ -104,10 +107,10 @@ func (ni *NI) Send(m *Message, now sim.Cycle) {
 		// messages) but still costs a cycle through the tile wiring.
 		m.LocalHop = true
 		m.InjectedAt = now
-		ni.local = append(ni.local, localDelivery{msg: m, at: now + 1})
+		ni.local.Push(localDelivery{msg: m, at: now + 1})
 		return
 	}
-	ni.queues[m.VN] = append(ni.queues[m.VN], m)
+	ni.queues[m.VN].Push(m)
 }
 
 // SendFront enqueues m ahead of everything waiting in its virtual network —
@@ -119,7 +122,7 @@ func (ni *NI) SendFront(m *Message, now sim.Cycle) {
 	}
 	m.EnqueuedAt = now
 	ni.wake.Wake()
-	ni.queues[m.VN] = append([]*Message{m}, ni.queues[m.VN]...)
+	ni.queues[m.VN].PushFront(m)
 }
 
 // ReplyIdle reports whether the reply virtual network has nothing queued or
@@ -127,15 +130,15 @@ func (ni *NI) SendFront(m *Message, now sim.Cycle) {
 // two cycles. The coherence layer uses this to decide when eliminating an
 // acknowledgement is safe for timed circuits.
 func (ni *NI) ReplyIdle() bool {
-	return len(ni.queues[VNReply]) == 0 && ni.open[VNReply] == nil
+	return ni.queues[VNReply].Len() == 0 && ni.open[VNReply].msg == nil
 }
 
 // QueueLen returns the number of messages waiting or draining at this NI.
 func (ni *NI) QueueLen() int {
-	n := len(ni.local)
+	n := ni.local.Len()
 	for vn := 0; vn < NumVNs; vn++ {
-		n += len(ni.queues[vn])
-		if ni.open[vn] != nil {
+		n += ni.queues[vn].Len()
+		if ni.open[vn].msg != nil {
 			n++
 		}
 	}
@@ -145,7 +148,11 @@ func (ni *NI) QueueLen() int {
 // Tick advances the NI one cycle: credits, ejection, local deliveries,
 // then at most one injected flit.
 func (ni *NI) Tick(now sim.Cycle) {
-	for _, c := range ni.creditIn.Recv(now) {
+	for {
+		c, ok := ni.creditIn.Recv(now)
+		if !ok {
+			break
+		}
 		if c.Pure {
 			continue
 		}
@@ -160,11 +167,13 @@ func (ni *NI) Tick(now sim.Cycle) {
 		if f.Tail {
 			ni.deliverTail(f, now)
 		}
+		// The flit's journey ends here; nothing downstream of the NI may
+		// hold it (DESIGN.md §5b), so it returns to the free-list.
+		ni.pool.putFlit(f)
 	}
 
-	for len(ni.local) > 0 && ni.local[0].at <= now {
-		m := ni.local[0].msg
-		ni.local = ni.local[1:]
+	for ni.local.Len() > 0 && ni.local.Front().at <= now {
+		m := ni.local.Pop().msg
 		m.DeliveredAt = now
 		if ni.recv != nil {
 			ni.recv(m, now)
@@ -216,7 +225,7 @@ func (ni *NI) deliverTail(f *Flit, now sim.Cycle) {
 // stay contiguous. Otherwise the virtual networks round-robin.
 func (ni *NI) inject(now sim.Cycle) {
 	for vn := 0; vn < NumVNs; vn++ {
-		if o := ni.open[vn]; o != nil && o.msg.UseCircuit {
+		if o := &ni.open[vn]; o.msg != nil && o.msg.UseCircuit {
 			ni.tryInjectVN(vn, now)
 			return
 		}
@@ -231,9 +240,10 @@ func (ni *NI) inject(now sim.Cycle) {
 }
 
 func (ni *NI) tryInjectVN(vn int, now sim.Cycle) bool {
-	o := ni.open[vn]
-	if o == nil {
-		if len(ni.queues[vn]) == 0 {
+	o := &ni.open[vn]
+	if o.msg == nil {
+		q := &ni.queues[vn]
+		if q.Len() == 0 {
 			return false
 		}
 		// The hook is consulted every cycle until injection starts; it
@@ -243,14 +253,14 @@ func (ni *NI) tryInjectVN(vn int, now sim.Cycle) bool {
 		// AllowQueueOvertake later messages may pass a held-back head.
 		scan := 1
 		if ni.cfg.AllowQueueOvertake {
-			scan = len(ni.queues[vn])
+			scan = q.Len()
 			if scan > 8 {
 				scan = 8
 			}
 		}
 		pick := -1
 		for i := 0; i < scan; i++ {
-			m := ni.queues[vn][i]
+			m := q.At(i)
 			if ni.hook != nil {
 				if notBefore := ni.hook.OnInject(ni.id, m, now); now < notBefore {
 					continue // still waiting (e.g. for its setup probe)
@@ -262,14 +272,13 @@ func (ni *NI) tryInjectVN(vn int, now sim.Cycle) bool {
 		if pick < 0 {
 			return false
 		}
-		m := ni.queues[vn][pick]
+		m := q.At(pick)
 		vc := ni.pickVC(vn, m)
 		if vc < 0 {
 			return false
 		}
-		ni.queues[vn] = append(ni.queues[vn][:pick], ni.queues[vn][pick+1:]...)
-		o = &openMsg{msg: m, flits: flitsOf(m), vc: vc}
-		ni.open[vn] = o
+		q.RemoveAt(pick)
+		*o = openMsg{msg: m, vc: vc}
 	}
 	// Credit for the next flit (unbuffered circuit VCs need none).
 	if ni.cfg.VCBuffered(vn, o.vc) {
@@ -278,7 +287,11 @@ func (ni *NI) tryInjectVN(vn int, now sim.Cycle) bool {
 		}
 		ni.credits[vn][o.vc]--
 	}
-	f := o.flits[o.next]
+	f := ni.pool.getFlit()
+	f.Msg = o.msg
+	f.Seq = o.next
+	f.Head = o.next == 0
+	f.Tail = o.next == o.msg.Size-1
 	f.VC = o.vc
 	if f.Head {
 		o.msg.InjectedAt = now
@@ -293,8 +306,8 @@ func (ni *NI) tryInjectVN(vn int, now sim.Cycle) bool {
 	ni.toRouter.Send(f, now)
 	ni.ev.LinkFlits++
 	o.next++
-	if o.next == len(o.flits) {
-		ni.open[vn] = nil
+	if o.next == o.msg.Size {
+		*o = openMsg{}
 	}
 	return true
 }

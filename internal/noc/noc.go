@@ -28,8 +28,11 @@ type Message struct {
 	VN   int // VNRequest or VNReply
 	Size int // flits
 
-	// Payload carries the coherence layer's transaction reference.
-	Payload any
+	// Payload carries the coherence layer's transaction context, packed
+	// into a word by the sender (coherence.Payload.Pack). A plain integer
+	// rather than `any`: boxing a multi-word struct into an interface
+	// heap-allocated on every protocol send.
+	Payload uint64
 
 	// Circuit-reservation state (written by internal/core hooks).
 

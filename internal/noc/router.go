@@ -21,7 +21,7 @@ const (
 // inVC is the per-virtual-channel state at an input unit: buffer, global
 // state (G), route (R) and output VC (O) — the fields of Figure 2.
 type inVC struct {
-	buf          []*Flit
+	buf          ring[*Flit] // fixed capacity BufDepth; credits bound occupancy
 	state        vcState
 	route        mesh.Dir
 	outVC        int
@@ -29,12 +29,7 @@ type inVC struct {
 	saEligibleAt sim.Cycle
 }
 
-func (v *inVC) front() *Flit {
-	if len(v.buf) == 0 {
-		return nil
-	}
-	return v.buf[0]
-}
+func (v *inVC) front() *Flit { return v.buf.Front() }
 
 // bypassEntry latches a flit crossing the router in a single cycle: on a
 // reactive circuit, or speculatively in the comparator router. It departs
@@ -61,8 +56,8 @@ type inputPort struct {
 	link   *Link       // flits from the upstream router or NI
 	credit *CreditLink // credits we send upstream
 	vcs    [NumVNs][]*inVC
-	byQ    []bypassEntry
-	spec   map[*Message]specRoute
+	byQ    ring[bypassEntry]
+	spec   specTable // routes of messages speculating through this port, by msg ID
 	// occupancy counts buffered flits across the port's VCs, letting the
 	// allocator stages skip idle ports.
 	occupancy int
@@ -158,7 +153,11 @@ func (r *Router) addInput(d mesh.Dir, link *Link, credit *CreditLink) {
 	for vn := 0; vn < NumVNs; vn++ {
 		p.vcs[vn] = make([]*inVC, r.cfg.VCsPerVN[vn])
 		for vc := range p.vcs[vn] {
-			p.vcs[vn][vc] = &inVC{outVC: -1}
+			v := &inVC{outVC: -1}
+			if r.cfg.VCBuffered(vn, vc) {
+				v.buf.reserve(r.cfg.BufDepth)
+			}
+			p.vcs[vn][vc] = v
 		}
 	}
 	r.in[d] = p
@@ -211,7 +210,11 @@ func (r *Router) recvCredits(now sim.Cycle) {
 		if op == nil || op.credit == nil {
 			continue
 		}
-		for _, c := range op.credit.Recv(now) {
+		for {
+			c, ok := op.credit.Recv(now)
+			if !ok {
+				break
+			}
 			if c.UndoCircuit != nil && r.handler != nil {
 				if r.fault != nil && r.fault.DropUndo(r.id, c.UndoCircuit, now) {
 					// Injected fault: the token vanishes and the teardown
@@ -247,7 +250,7 @@ func (r *Router) recvFlits(now sim.Cycle) {
 		if r.handler != nil && f.Msg.VN == VNReply {
 			r.ev.CircuitChecks++
 			if out, outVC, ok := r.handler.Bypass(r.id, f, d, now); ok {
-				p.byQ = append(p.byQ, bypassEntry{f: f, vn: VNReply, out: out, outVC: outVC, arrVC: f.VC})
+				p.byQ.Push(bypassEntry{f: f, vn: VNReply, out: out, outVC: outVC, arrVC: f.VC})
 				continue
 			}
 		}
@@ -259,13 +262,13 @@ func (r *Router) recvFlits(now sim.Cycle) {
 			panic(fmt.Sprintf("noc: router %d: flit of msg %d arrived on unbuffered vc%d without a circuit", r.id, f.Msg.ID, f.VC))
 		}
 		vc := p.vcs[vn][f.VC]
-		if len(vc.buf) >= r.cfg.BufDepth {
+		if vc.buf.Len() >= r.cfg.BufDepth {
 			panic(fmt.Sprintf("noc: router %d: buffer overflow at %v vn%d vc%d (credit protocol violated)", r.id, d, vn, f.VC))
 		}
-		vc.buf = append(vc.buf, f)
+		vc.buf.Push(f)
 		p.occupancy++
 		r.ev.BufWrites++
-		if f.Head && len(vc.buf) == 1 && vc.state == vcIdle {
+		if f.Head && vc.buf.Len() == 1 && vc.state == vcIdle {
 			r.startMessage(vc, f, 1, now)
 		}
 	}
@@ -278,15 +281,15 @@ func (r *Router) recvFlits(now sim.Cycle) {
 // normal pipeline.
 func (r *Router) trySpeculate(p *inputPort, f *Flit, now sim.Cycle) bool {
 	msg := f.Msg
-	if sr, ok := p.spec[msg]; ok { // body/tail of a speculating message
-		p.byQ = append(p.byQ, bypassEntry{f: f, vn: msg.VN, out: sr.out, outVC: sr.outVC, arrVC: f.VC, spec: true})
+	if sr, ok := p.spec.get(msg.ID); ok { // body/tail of a speculating message
+		p.byQ.Push(bypassEntry{f: f, vn: msg.VN, out: sr.out, outVC: sr.outVC, arrVC: f.VC, spec: true})
 		return true
 	}
 	if !f.Head {
 		return false
 	}
 	vc := p.vcs[msg.VN][f.VC]
-	if vc.state != vcIdle || len(vc.buf) > 0 {
+	if vc.state != vcIdle || vc.buf.Len() > 0 {
 		return false // older flits queued: keep FIFO order
 	}
 	out := r.cfg.Mesh.NextDir(r.cfg.Routing(msg.VN), r.id, msg.Dst)
@@ -309,11 +312,8 @@ func (r *Router) trySpeculate(p *inputPort, f *Flit, now sim.Cycle) bool {
 		return false
 	}
 	op.owner[msg.VN][cand] = outOwner{valid: true, in: p.dir, vn: msg.VN, vc: f.VC}
-	if p.spec == nil {
-		p.spec = map[*Message]specRoute{}
-	}
-	p.spec[msg] = specRoute{out: out, outVC: cand}
-	p.byQ = append(p.byQ, bypassEntry{f: f, vn: msg.VN, out: out, outVC: cand, arrVC: f.VC, spec: true})
+	p.spec.put(msg.ID, specRoute{out: out, outVC: cand})
+	p.byQ.Push(bypassEntry{f: f, vn: msg.VN, out: out, outVC: cand, arrVC: f.VC, spec: true})
 	if f.Tail {
 		// Single-flit message: nothing follows.
 	}
@@ -336,7 +336,7 @@ func (r *Router) stage3ST(now sim.Cycle) {
 
 	anyBypass := false
 	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
-		if p := r.in[d]; p != nil && len(p.byQ) > 0 {
+		if p := r.in[d]; p != nil && p.byQ.Len() > 0 {
 			anyBypass = true
 			break
 		}
@@ -382,7 +382,7 @@ func (r *Router) stage3ST(now sim.Cycle) {
 		if buffered && op.credits[g.vn][vc.outVC] <= 0 {
 			continue // credit consumed since allocation; retry
 		}
-		vc.buf = vc.buf[1:]
+		vc.buf.Pop()
 		p.occupancy--
 		r.ev.BufReads++
 		f.VC = vc.outVC
@@ -423,10 +423,10 @@ func (r *Router) runBypass(usedIn, usedOut *[mesh.NumDirs]bool, outUser *[mesh.N
 	for i := 0; i < int(mesh.NumDirs); i++ {
 		d := mesh.Dir((r.byPtr + i) % int(mesh.NumDirs))
 		p := r.in[d]
-		if p == nil || len(p.byQ) == 0 || usedIn[d] {
+		if p == nil || p.byQ.Len() == 0 || usedIn[d] {
 			continue
 		}
-		e := p.byQ[0]
+		e := p.byQ.Front()
 		stall := usedOut[e.out]
 		op := r.out[e.out]
 		if op == nil {
@@ -447,7 +447,7 @@ func (r *Router) runBypass(usedIn, usedOut *[mesh.NumDirs]bool, outUser *[mesh.N
 			}
 			continue
 		}
-		p.byQ = p.byQ[1:]
+		p.byQ.Pop()
 		usedIn[d] = true
 		usedOut[e.out] = true
 		outUser[e.out] = e.f
@@ -465,7 +465,7 @@ func (r *Router) runBypass(usedIn, usedOut *[mesh.NumDirs]bool, outUser *[mesh.N
 		if e.f.Tail {
 			if e.spec {
 				op.owner[e.vn][e.outVC] = outOwner{}
-				delete(p.spec, e.f.Msg)
+				p.spec.del(e.f.Msg.ID)
 			} else if r.handler != nil {
 				r.handler.Release(r.id, e.f, d, now)
 			}
@@ -669,7 +669,7 @@ func (r *Router) returnCredit(p *inputPort, c Credit, in mesh.Dir, now sim.Cycle
 func (r *Router) Quiescent() bool {
 	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
 		if p := r.in[d]; p != nil {
-			if p.occupancy > 0 || len(p.byQ) > 0 {
+			if p.occupancy > 0 || p.byQ.Len() > 0 {
 				return false
 			}
 			if p.link != nil && p.link.Busy() {
@@ -691,12 +691,12 @@ func (r *Router) Quiescent() bool {
 func (r *Router) busy() bool {
 	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
 		if p := r.in[d]; p != nil {
-			if len(p.byQ) > 0 {
+			if p.byQ.Len() > 0 {
 				return true
 			}
 			for vn := range p.vcs {
 				for _, vc := range p.vcs[vn] {
-					if len(vc.buf) > 0 {
+					if vc.buf.Len() > 0 {
 						return true
 					}
 				}

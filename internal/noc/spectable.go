@@ -1,0 +1,113 @@
+package noc
+
+// specTable is a small open-addressed hash table mapping the IDs of
+// messages currently speculating through an input port to their ephemeral
+// routes. It replaces a lazily-built map[*Message]specRoute: message IDs
+// are dense uint64s (never zero, NextMsgID starts at 1), at most a handful
+// of routes are live per port, and get/put/delete on a linear-probe table
+// are allocation-free after the first insert. Deletion uses backward-shift
+// compaction, so an emptied table holds no tombstones and no stale
+// references — the map version kept its buckets (and delete()d keys'
+// memory) alive for the lifetime of the port.
+type specTable struct {
+	keys []uint64 // 0 = empty slot
+	vals []specRoute
+	n    int
+}
+
+const specTableMinSize = 8 // power of two
+
+func (t *specTable) get(id uint64) (specRoute, bool) {
+	if t.n == 0 {
+		return specRoute{}, false
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := id & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case id:
+			return t.vals[i], true
+		case 0:
+			return specRoute{}, false
+		}
+	}
+}
+
+func (t *specTable) put(id uint64, v specRoute) {
+	if len(t.keys) == 0 {
+		t.keys = make([]uint64, specTableMinSize)
+		t.vals = make([]specRoute, specTableMinSize)
+	} else if 2*(t.n+1) > len(t.keys) {
+		t.rehash(2 * len(t.keys))
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := id & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case id:
+			t.vals[i] = v
+			return
+		case 0:
+			t.keys[i] = id
+			t.vals[i] = v
+			t.n++
+			return
+		}
+	}
+}
+
+func (t *specTable) rehash(size int) {
+	oldK, oldV := t.keys, t.vals
+	t.keys = make([]uint64, size)
+	t.vals = make([]specRoute, size)
+	t.n = 0
+	for i, k := range oldK {
+		if k != 0 {
+			t.put(k, oldV[i])
+		}
+	}
+}
+
+func (t *specTable) del(id uint64) {
+	if t.n == 0 {
+		return
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := id & mask
+	for t.keys[i] != id {
+		if t.keys[i] == 0 {
+			return
+		}
+		i = (i + 1) & mask
+	}
+	t.n--
+	// Backward-shift compaction: pull displaced entries of the probe chain
+	// into the vacated slot so lookups never need tombstones.
+	j := i
+	for {
+		t.keys[i] = 0
+		t.vals[i] = specRoute{}
+		for {
+			j = (j + 1) & mask
+			if t.keys[j] == 0 {
+				return
+			}
+			ideal := t.keys[j] & mask
+			// Entry at j may move into slot i unless its ideal slot lies
+			// cyclically within (i, j].
+			if i <= j {
+				if i < ideal && ideal <= j {
+					continue
+				}
+			} else if i < ideal || ideal <= j {
+				continue
+			}
+			break
+		}
+		t.keys[i] = t.keys[j]
+		t.vals[i] = t.vals[j]
+		i = j
+	}
+}
+
+// live returns the number of routes currently stored (test seam: spec state
+// must be empty once all speculating messages drain).
+func (t *specTable) live() int { return t.n }

@@ -121,3 +121,51 @@ func TestSpeculativeRejectsCircuitHandler(t *testing.T) {
 	}()
 	NewNetwork(specConfig(mesh.New(2, 2)), &spyHandler{}, nil)
 }
+
+// specLiveRoutes sums the live speculative-route entries across every input
+// port of every router.
+func specLiveRoutes(n *Network) int {
+	total := 0
+	for _, r := range n.routers {
+		for _, p := range r.in {
+			if p != nil {
+				total += p.spec.live()
+			}
+		}
+	}
+	return total
+}
+
+// TestSpecTableEmptyAfterDrain is the regression test for the open-addressed
+// route table that replaced a map[*Message]specRoute: once every message has
+// delivered, no port may retain a route. A leaked entry would silently poison
+// a later message whose pooled ID collides after wraparound, and — unlike the
+// map version — backward-shift deletion means a correct table is exactly
+// empty, not merely logically empty.
+func TestSpecTableEmptyAfterDrain(t *testing.T) {
+	m := mesh.New(4, 4)
+	rng := sim.NewRNG(97)
+	h := newHarness(specConfig(m), nil, nil)
+	n := 0
+	// Three bursts with drains in between: deletion must hold mid-run, not
+	// just at the end of one burst.
+	for burst := 0; burst < 3; burst++ {
+		for i := 0; i < 60; i++ {
+			src := mesh.NodeID(rng.Intn(m.Nodes()))
+			dst := mesh.NodeID(rng.Intn(m.Nodes()))
+			size := 1
+			if rng.Bool(0.5) {
+				size = 5
+			}
+			h.net.Send(msg(src, dst, rng.Intn(NumVNs), size), 0)
+			n++
+		}
+		h.runUntilQuiet(t, 60000)
+		if live := specLiveRoutes(h.net); live != 0 {
+			t.Fatalf("burst %d: %d speculative routes leaked after drain", burst, live)
+		}
+	}
+	if len(h.delivered) != n {
+		t.Fatalf("delivered %d of %d", len(h.delivered), n)
+	}
+}

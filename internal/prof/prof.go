@@ -1,0 +1,102 @@
+// Package prof adds the standard Go profiling outputs — CPU profile,
+// allocation profile and runtime execution trace — to a command's flag set,
+// so every simulator binary feeds pprof and `go tool trace` with the same
+// flags the toolchain's own tests use. The zero-allocation work in the
+// network hot path was measured through exactly this wiring.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiles holds the requested output paths (empty = off) and the open
+// files of the in-flight collectors.
+type Profiles struct {
+	cpu, mem, trc string
+
+	cpuFile, trcFile *os.File
+}
+
+// Flags registers -cpuprofile and -memprofile plus an execution-trace flag
+// named traceFlag on the default flag set, before flag.Parse. The trace
+// flag's name is a parameter because rcsim already uses -trace for the
+// message-lifecycle trace.
+func Flags(traceFlag string) *Profiles {
+	p := &Profiles{}
+	flag.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to `file`")
+	flag.StringVar(&p.mem, "memprofile", "", "write an allocation profile to `file` at exit")
+	flag.StringVar(&p.trc, traceFlag, "", "write a runtime execution trace to `file`")
+	return p
+}
+
+// Start begins the requested CPU profile and execution trace. On error the
+// collectors already running are stopped again.
+func (p *Profiles) Start() error {
+	if p.cpu != "" {
+		f, err := os.Create(p.cpu)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("prof: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if p.trc != "" {
+		f, err := os.Create(p.trc)
+		if err == nil {
+			if terr := trace.Start(f); terr != nil {
+				f.Close()
+				err = terr
+			} else {
+				p.trcFile = f
+			}
+		}
+		if err != nil {
+			p.Stop()
+			return fmt.Errorf("prof: %w", err)
+		}
+	}
+	return nil
+}
+
+// Stop ends the CPU profile and execution trace and, if requested, writes
+// the allocation profile. Safe to call when nothing was started; the first
+// error wins but every collector is still flushed.
+func (p *Profiles) Stop() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = fmt.Errorf("prof: %w", err)
+		}
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(p.cpuFile.Close())
+		p.cpuFile = nil
+	}
+	if p.trcFile != nil {
+		trace.Stop()
+		keep(p.trcFile.Close())
+		p.trcFile = nil
+	}
+	if p.mem != "" {
+		f, err := os.Create(p.mem)
+		if err != nil {
+			keep(err)
+			return first
+		}
+		// Collect garbage first so the heap profile shows retention, not
+		// whatever the last cycle left unswept.
+		runtime.GC()
+		keep(pprof.WriteHeapProfile(f))
+		keep(f.Close())
+	}
+	return first
+}
