@@ -5,7 +5,9 @@
 package reactivenoc_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"reactivenoc/internal/chip"
 	"reactivenoc/internal/config"
@@ -13,6 +15,7 @@ import (
 	"reactivenoc/internal/exp"
 	"reactivenoc/internal/mesh"
 	"reactivenoc/internal/noc"
+	"reactivenoc/internal/serve"
 	"reactivenoc/internal/sim"
 	"reactivenoc/internal/workload"
 )
@@ -336,6 +339,71 @@ func BenchmarkChipRun(b *testing.B) {
 		b.ReportMetric(float64(r.Cycles), "cycles")
 	}
 	reportCycleRate(b, simCycles)
+}
+
+// BenchmarkServeSubmitCached measures the service's cache-hit fast path:
+// submitting a spec whose results are already memoized. This is the whole
+// admission round trip — fingerprint, shard lookup, job bookkeeping —
+// without a simulation.
+func BenchmarkServeSubmitCached(b *testing.B) {
+	b.ReportAllocs()
+	srv, err := serve.New(serve.Config{Workers: 2, QueueDepth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	v, _ := config.ByName("Complete_NoAck")
+	spec := chip.DefaultSpec(config.Chip16(), v, workload.Micro())
+	spec.WarmupOps = 200
+	spec.MeasureOps = 500
+	if _, err := srv.Submit(spec); err != nil {
+		b.Fatal(err)
+	}
+	for srv.Metrics().Value("serve/jobs_done") == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := srv.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.Cached {
+			b.Fatal("submission missed the cache")
+		}
+	}
+}
+
+// BenchmarkServeSubmitMiss measures admission for a never-seen spec:
+// fingerprint, miss in every shard index, in-flight registration, and the
+// queue handoff. Workers never start, so no simulation time leaks in.
+func BenchmarkServeSubmitMiss(b *testing.B) {
+	b.ReportAllocs()
+	srv, err := serve.New(serve.Config{Workers: 1, QueueDepth: b.N + 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, _ := config.ByName("Complete_NoAck")
+	spec := chip.DefaultSpec(config.Chip16(), v, workload.Micro())
+	spec.WarmupOps = 200
+	spec.MeasureOps = 500
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Seed = uint64(i + 1) // a fresh fingerprint every iteration
+		if _, err := srv.Submit(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Queued-but-never-run jobs are expected debris here; drop them.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
 }
 
 // BenchmarkCircuitReservation measures the reservation fast path: a

@@ -18,6 +18,14 @@
 //	rcsweep -json           # machine-readable output
 //	rcsweep -timeout 5m     # per-run wall-clock cap
 //	rcsweep -failfast       # stop scheduling runs after the first failure
+//	rcsweep -remote http://host:8134   # submit cells to a running rcserved
+//
+// With -remote, every sweep cell is submitted to the rcserved instance at
+// the given base URL instead of being simulated locally: results come back
+// over HTTP (cache hits never burn a server worker), failures come back as
+// the same structured run errors the local path produces, and the server
+// owns retry — so the client-side retry is disabled to avoid running every
+// failing spec four times.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"reactivenoc/internal/config"
 	"reactivenoc/internal/exp"
 	"reactivenoc/internal/prof"
+	"reactivenoc/internal/serve"
 )
 
 // formatter is what every experiment report implements.
@@ -49,6 +58,7 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock cap (0 = none)")
 	keepGoing := flag.Bool("keep-going", true, "survive failed runs and report them at the end")
 	failFast := flag.Bool("failfast", false, "stop scheduling new runs after the first failure")
+	remote := flag.String("remote", "", "base URL of a running rcserved; sweep cells are submitted there instead of simulated locally")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text tables")
 	mdOut := flag.Bool("md", false, "emit the full evaluation as a markdown report (implies -exp all)")
 	profiles := prof.Flags("trace")
@@ -77,6 +87,13 @@ func run() int {
 	pol := exp.DefaultPolicy()
 	pol.Timeout = *timeout
 	pol.FailFast = *failFast || !*keepGoing
+	if *remote != "" {
+		// The server executes (and retries) each cell; rcsweep's workers
+		// become concurrent HTTP clients of it. -timeout still rides along
+		// on each submitted spec.
+		pol.Run = serve.NewClient(*remote).Run
+		pol.Retry = false
+	}
 	ctx := context.Background()
 
 	failed := 0

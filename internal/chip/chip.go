@@ -61,6 +61,12 @@ type Spec struct {
 	// every SampleEvery cycles of the measured phase (Results.Series):
 	// per-window counter deltas plus end-of-window gauge levels.
 	SampleEvery sim.Cycle
+	// OnSample, when non-nil, observes each recorded window as it closes,
+	// with At already rebased to the measured-phase start — the seam the
+	// simulation service streams live progress from. Observers run on the
+	// simulation goroutine and must not block; they never affect results
+	// and are excluded from Fingerprint.
+	OnSample func(sim.Snapshot) `json:"-"`
 	// DenseKernel disables the activity tracker, ticking every component
 	// every cycle — the reference scheduling the golden determinism suite
 	// cross-checks against.
@@ -387,6 +393,12 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 	measureStart := kernel.Now()
 	if spec.SampleEvery > 0 {
 		sampler = sim.NewSampler(reg, spec.SampleEvery, measureStart)
+		if spec.OnSample != nil {
+			sampler.OnWindow = func(snap sim.Snapshot) {
+				snap.At -= measureStart
+				spec.OnSample(snap)
+			}
+		}
 	}
 	if err := runPhase("measured"); err != nil {
 		return nil, err

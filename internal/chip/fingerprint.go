@@ -1,0 +1,33 @@
+package chip
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Fingerprint returns a stable content hash of the spec: every
+// result-affecting field (chip geometry, variant options, workload
+// profile, operation counts, seed, horizon, fault plan, sampling and
+// kernel/pool switches) feeds a SHA-256 over the spec's canonical JSON
+// encoding. Two specs compare equal exactly when their fingerprints do,
+// which is what lets a result cache return a stored Results for a
+// re-submitted spec without re-simulating it.
+//
+// Runtime-only observers (Spec.OnSample) are excluded: they cannot change
+// the simulation's outcome, only who watches it. Fields added to Spec in
+// the future are picked up automatically because the hash covers the full
+// JSON encoding; the mutation-coverage test in fingerprint_test.go keeps
+// that claim honest.
+func (s Spec) Fingerprint() string {
+	s.OnSample = nil // observers never reach the encoder
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec is plain exported data; Marshal can only fail if a future
+		// field breaks that contract, which the stability test catches.
+		panic(fmt.Sprintf("chip: spec not fingerprintable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return "spec-" + hex.EncodeToString(sum[:16])
+}

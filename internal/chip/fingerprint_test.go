@@ -1,0 +1,128 @@
+package chip
+
+import (
+	"reflect"
+	"testing"
+
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/fault"
+	"reactivenoc/internal/sim"
+	"reactivenoc/internal/workload"
+)
+
+func testSpec() Spec {
+	v, _ := config.ByName("Complete_NoAck")
+	return DefaultSpec(config.Chip16(), v, workload.Micro())
+}
+
+// TestFingerprintStability: fingerprinting is pure — two specs built the
+// same way hash identically, and repeated calls agree.
+func TestFingerprintStability(t *testing.T) {
+	a, b := testSpec(), testSpec()
+	fa, fb := a.Fingerprint(), b.Fingerprint()
+	if fa == "" || fa != fb {
+		t.Fatalf("equal specs disagree: %q vs %q", fa, fb)
+	}
+	if fa != a.Fingerprint() {
+		t.Fatalf("fingerprint not idempotent")
+	}
+	// A spec with the fault plan populated is also stable.
+	a.Fault = &fault.Plan{Class: fault.StallLink, After: 100}
+	b.Fault = &fault.Plan{Class: fault.StallLink, After: 100}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("equal fault-armed specs disagree")
+	}
+}
+
+// TestFingerprintIgnoresObservers: OnSample is a runtime observer, not an
+// input — attaching one must not move the cache key.
+func TestFingerprintIgnoresObservers(t *testing.T) {
+	a, b := testSpec(), testSpec()
+	b.OnSample = func(sim.Snapshot) {}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("OnSample leaked into the fingerprint")
+	}
+}
+
+// mutate flips one leaf field (addressed by v) to a different value,
+// returning false for kinds that intentionally do not fingerprint (funcs).
+func mutate(t *testing.T, v reflect.Value, path string) bool {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 0.125)
+	case reflect.String:
+		v.SetString(v.String() + "x")
+	case reflect.Func:
+		return false
+	default:
+		t.Fatalf("field %s: unhandled kind %s — extend the fingerprint test", path, v.Kind())
+	}
+	return true
+}
+
+// leafFields walks every addressable leaf of a struct value, descending
+// into nested structs and allocating nil pointers so pointed-to fields
+// (the fault plan) are exercised too.
+func leafFields(t *testing.T, v reflect.Value, path string, visit func(reflect.Value, string)) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Type().Field(i)
+			if !f.IsExported() {
+				t.Fatalf("field %s.%s is unexported: JSON fingerprinting would miss it", path, f.Name)
+			}
+			leafFields(t, v.Field(i), path+"."+f.Name, visit)
+		}
+	case reflect.Ptr:
+		if v.IsNil() {
+			v.Set(reflect.New(v.Type().Elem()))
+		}
+		leafFields(t, v.Elem(), path, visit)
+	default:
+		visit(v, path)
+	}
+}
+
+// TestFingerprintCoversEveryField mutates each leaf field of the spec in
+// turn and demands a fingerprint change — so nobody can add a
+// result-affecting knob that the result cache silently ignores.
+func TestFingerprintCoversEveryField(t *testing.T) {
+	// Baseline includes an allocated fault plan so pointer leaves compare
+	// against a populated baseline rather than nil-vs-zero.
+	base := testSpec()
+	base.Fault = &fault.Plan{}
+	baseFP := base.Fingerprint()
+
+	var paths []string
+	leafFields(t, reflect.ValueOf(&base).Elem(), "Spec", func(_ reflect.Value, p string) {
+		paths = append(paths, p)
+	})
+	if len(paths) < 15 {
+		t.Fatalf("suspiciously few spec leaves (%d): walker broken?", len(paths))
+	}
+
+	for _, target := range paths {
+		spec := testSpec()
+		spec.Fault = &fault.Plan{}
+		changed := false
+		leafFields(t, reflect.ValueOf(&spec).Elem(), "Spec", func(v reflect.Value, p string) {
+			if p == target && !changed {
+				changed = mutate(t, v, p)
+			}
+		})
+		if !changed {
+			continue // non-fingerprinting kind (funcs), covered above
+		}
+		if got := spec.Fingerprint(); got == baseFP {
+			t.Errorf("mutating %s did not change the fingerprint", target)
+		}
+	}
+}

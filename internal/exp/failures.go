@@ -26,6 +26,11 @@ type Policy struct {
 	// FaultFor, when non-nil, returns the fault plan to arm for a
 	// (variant, workload) run — the chaos tests' poisoning seam.
 	FaultFor func(variant, workload string) *fault.Plan
+	// Run, when non-nil, replaces chip.RunCtx as the executor of
+	// individual specs — the seam `rcsweep -remote` uses to submit sweep
+	// cells to a running rcserved instead of simulating locally. Retry,
+	// FailFast and Timeout semantics apply unchanged around it.
+	Run func(ctx context.Context, spec chip.Spec) (*chip.Results, error)
 }
 
 // DefaultPolicy keeps going past failures and retries each once.
@@ -135,39 +140,61 @@ func asRunError(err error, spec chip.Spec) *chip.RunError {
 	}
 }
 
+// RunOne executes one spec under the policy: the policy's timeout and
+// fault plan are applied, a failure becomes a *FailureReport, and Retry
+// re-runs the spec once under the alternate seed. res is non-nil whenever
+// a usable result exists (from the original run or a successful retry);
+// rep is non-nil whenever the original run failed. This is the same path
+// every sweep worker takes — exported so the simulation service's worker
+// pool shares retry semantics with the CLI harness instead of inventing
+// its own.
+func (p Policy) RunOne(ctx context.Context, spec chip.Spec) (res *chip.Results, rep *FailureReport) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	exec := p.Run
+	if exec == nil {
+		exec = chip.RunCtx
+	}
+	if p.Timeout > 0 {
+		spec.Timeout = p.Timeout
+	}
+	if p.FaultFor != nil {
+		spec.Fault = p.FaultFor(spec.Variant.Name, spec.Workload.Name)
+	}
+	r, err := exec(ctx, spec)
+	if err == nil {
+		return r, nil
+	}
+	rep = &FailureReport{
+		Variant: spec.Variant.Name, Workload: spec.Workload.Name,
+		Seed: spec.Seed, Err: asRunError(err, spec),
+	}
+	if p.Retry && ctx.Err() == nil {
+		retry := spec
+		retry.Seed = retrySeed(spec.Seed)
+		rep.Retried, rep.RetrySeed = true, retry.Seed
+		if r2, err2 := exec(ctx, retry); err2 == nil {
+			res = r2
+		} else {
+			rep.RetryErr = asRunError(err2, retry)
+		}
+	}
+	return res, rep
+}
+
 // run executes spec under the policy. ok=false means no usable result; the
 // failure (if any) has been recorded.
 func (cl *collector) run(spec chip.Spec) (*chip.Results, bool) {
 	if cl.halted() {
 		return nil, false
 	}
-	if cl.pol.Timeout > 0 {
-		spec.Timeout = cl.pol.Timeout
-	}
-	if cl.pol.FaultFor != nil {
-		spec.Fault = cl.pol.FaultFor(spec.Variant.Name, spec.Workload.Name)
-	}
-	r, err := chip.RunCtx(cl.ctx, spec)
-	if err == nil {
-		return r, true
-	}
-	rep := FailureReport{
-		Variant: spec.Variant.Name, Workload: spec.Workload.Name,
-		Seed: spec.Seed, Err: asRunError(err, spec),
-	}
-	var res *chip.Results
-	if cl.pol.Retry && cl.ctx.Err() == nil {
-		retry := spec
-		retry.Seed = retrySeed(spec.Seed)
-		rep.Retried, rep.RetrySeed = true, retry.Seed
-		if r2, err2 := chip.RunCtx(cl.ctx, retry); err2 == nil {
-			res = r2
-		} else {
-			rep.RetryErr = asRunError(err2, retry)
-		}
+	res, rep := cl.pol.RunOne(cl.ctx, spec)
+	if rep == nil {
+		return res, true
 	}
 	cl.mu.Lock()
-	cl.failures = append(cl.failures, rep)
+	cl.failures = append(cl.failures, *rep)
 	if cl.pol.FailFast {
 		cl.stopped = true
 	}

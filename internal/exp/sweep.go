@@ -30,10 +30,17 @@ type Scale struct {
 	Workers int
 }
 
-// workerCount resolves the worker cap.
-func (s Scale) workerCount() int {
-	if s.Workers > 0 {
-		return s.Workers
+// WorkerCount resolves the sweep's concurrency: Workers when positive,
+// otherwise the GOMAXPROCS fallback. Every parallel runner in this package
+// (and the simulation service's worker pool) sizes itself through
+// WorkersOr, so zero/negative requests can never spawn an empty pool.
+func (s Scale) WorkerCount() int { return WorkersOr(s.Workers) }
+
+// WorkersOr is the single place a requested worker count is validated:
+// n when positive, runtime.GOMAXPROCS(0) for zero or negative requests.
+func WorkersOr(n int) int {
+	if n > 0 {
+		return n
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -96,7 +103,7 @@ func RunSweepCtx(ctx context.Context, c config.Chip, variants []config.Variant, 
 	jobs := make(chan job)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for i := 0; i < scale.workerCount(); i++ {
+	for i := 0; i < scale.WorkerCount(); i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"reactivenoc/internal/chip"
@@ -109,7 +108,7 @@ func CIRun(c config.Chip, variants []string, seeds int, ops int64, pol Policy) *
 
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
+	sem := make(chan struct{}, WorkersOr(0))
 	go1 := func(fn func()) {
 		wg.Add(1)
 		sem <- struct{}{}

@@ -1,0 +1,24 @@
+// Package serve turns the one-shot simulation harness into a long-lived
+// HTTP/JSON service: rcserved accepts chip.Spec submissions, runs them on
+// a bounded worker pool with the same exp.Policy retry/timeout semantics
+// the CLI sweeps use, deduplicates and memoizes results through a sharded
+// LRU cache keyed by chip.Spec.Fingerprint, and streams per-window
+// progress (Spec.SampleEvery metrics deltas) over server-sent events.
+//
+// Design-space exploration is profiling-run dominated: thousands of
+// near-duplicate spec evaluations, which is exactly the workload admission
+// control plus result caching wins at. The queue is bounded and applies
+// backpressure (429 + Retry-After when full); shutdown is graceful —
+// in-flight runs finish or are cancelled through the chip.RunCtx context
+// plumbing, and jobs that never produced a result are drained to a journal
+// that a restarted server replays.
+//
+// Endpoints:
+//
+//	POST /v1/jobs             submit a chip.Spec; 202 queued, 200 cached/deduped
+//	GET  /v1/jobs/{id}        job status, including the Results when done
+//	GET  /v1/jobs/{id}/events server-sent events: queued|started|window|done|failed|canceled
+//	GET  /metrics             registry snapshot, text lines in sorted key order
+//	GET  /healthz             liveness/readiness (503 while draining)
+//	GET  /debug/pprof/        the standard profiling handlers
+package serve

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"reactivenoc/internal/chip"
+)
+
+// journalEntry is one job that shutdown drained before it produced a
+// result: the id is preserved so clients polling it keep working across
+// the restart.
+type journalEntry struct {
+	ID   string    `json:"id"`
+	Spec chip.Spec `json:"spec"`
+}
+
+// writeJournal atomically replaces path with the entries, one JSON object
+// per line. An empty entry list removes the journal instead, so a clean
+// shutdown leaves nothing to replay.
+func writeJournal(path string, entries []journalEntry) error {
+	if len(entries) == 0 {
+		if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		return nil
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readJournal loads and consumes the journal at path: entries are returned
+// and the file is removed, so a replayed job cannot be replayed twice by a
+// crash loop. A missing journal is an empty one.
+func readJournal(path string) ([]journalEntry, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var entries []journalEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("serve: corrupt journal %s: %w", filepath.Base(path), err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := os.Remove(path); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"reactivenoc/internal/chip"
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/exp"
+	"reactivenoc/internal/workload"
+)
+
+// smallSpec is a fast-but-real run: a 16-core baseline cell over the micro
+// workload, a few milliseconds of wall clock.
+func smallSpec(seed uint64) chip.Spec {
+	v, _ := config.ByName("Baseline")
+	spec := chip.DefaultSpec(config.Chip16(), v, workload.Micro())
+	spec.WarmupOps = 200
+	spec.MeasureOps = 500
+	spec.Seed = seed
+	return spec
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+// TestCacheLRUEviction: the per-shard LRU must evict the least recently
+// used fingerprint and count the eviction.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2, 1) // one shard, two entries
+	r := &chip.Results{}
+	for _, fp := range []string{"a", "b"} {
+		if out, _, _ := c.admit(fp, nil); out != admitNew {
+			t.Fatalf("admit(%s) = %v, want new", fp, out)
+		}
+		c.complete(fp, r)
+	}
+	if out, _, _ := c.admit("a", nil); out != admitHit { // refresh a
+		t.Fatalf("a should be cached")
+	}
+	if out, _, _ := c.admit("c", nil); out != admitNew {
+		t.Fatalf("c should miss")
+	}
+	c.complete("c", r) // evicts b, the LRU entry
+	if out, _, _ := c.admit("b", nil); out != admitNew {
+		t.Fatalf("b should have been evicted, admit = %v", out)
+	}
+	c.release("b")
+	if got := c.evictions.Load(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if got := c.size(); got != 2 {
+		t.Fatalf("size = %d, want 2", got)
+	}
+}
+
+// TestCacheDedupCoalesces: while a fingerprint is in flight, identical
+// admissions join it; completion frees the slot.
+func TestCacheDedupCoalesces(t *testing.T) {
+	c := newResultCache(8, 4)
+	owner := &job{id: "j-1"}
+	if out, _, _ := c.admit("fp", owner); out != admitNew {
+		t.Fatal("first admission must be new")
+	}
+	out, _, twin := c.admit("fp", &job{id: "j-2"})
+	if out != admitJoin || twin != owner {
+		t.Fatalf("second admission = %v/%v, want join onto j-1", out, twin)
+	}
+	c.complete("fp", &chip.Results{})
+	if out, res, _ := c.admit("fp", nil); out != admitHit || res == nil {
+		t.Fatalf("post-completion admission = %v, want cache hit", out)
+	}
+}
+
+// TestSubmitBackpressure: a full queue must reject with ErrQueueFull and
+// leave no stale in-flight registration behind.
+func TestSubmitBackpressure(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	// No Start(): jobs stay queued.
+	if _, err := s.Submit(smallSpec(1)); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	_, err := s.Submit(smallSpec(2))
+	if err != ErrQueueFull {
+		t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
+	}
+	if got := s.Metrics().Value("serve/rejected"); got != 1 {
+		t.Fatalf("serve/rejected = %d, want 1", got)
+	}
+	// The rejected fingerprint must be admissible again (no inflight leak).
+	if _, _, twin := s.cache.admit(smallSpec(2).Fingerprint(), &job{}); twin != nil {
+		t.Fatal("rejected submission left a stale in-flight registration")
+	}
+}
+
+// TestSubmitValidation: nonsense specs are rejected before queueing.
+func TestSubmitValidation(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	spec := smallSpec(1)
+	spec.MeasureOps = 0
+	if _, err := s.Submit(spec); err != ErrInvalidSpec {
+		t.Fatalf("err = %v, want ErrInvalidSpec", err)
+	}
+}
+
+// TestDedupReturnsSameJob: two concurrent submissions of one spec share a
+// single job id and a single simulation.
+func TestDedupReturnsSameJob(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	spec := smallSpec(3)
+	st1, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Deduped || st2.ID != st1.ID {
+		t.Fatalf("duplicate submission got job %q (deduped=%v), want join onto %q", st2.ID, st2.Deduped, st1.ID)
+	}
+	if got := s.Metrics().Value("serve/deduped"); got != 1 {
+		t.Fatalf("serve/deduped = %d, want 1", got)
+	}
+}
+
+// TestJournalRoundTrip: entries survive the file format, and reading
+// consumes the journal.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.journal")
+	in := []journalEntry{
+		{ID: "j-1", Spec: smallSpec(1)},
+		{ID: "j-9", Spec: smallSpec(2)},
+	}
+	if err := writeJournal(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].ID != "j-1" || out[1].ID != "j-9" {
+		t.Fatalf("round trip: %+v", out)
+	}
+	if out[1].Spec.Fingerprint() != in[1].Spec.Fingerprint() {
+		t.Fatal("spec fingerprint changed across the journal")
+	}
+	// Consumed: a second read is empty.
+	again, err := readJournal(path)
+	if err != nil || len(again) != 0 {
+		t.Fatalf("journal not consumed: %v, %v", again, err)
+	}
+	// Empty write removes the file.
+	if err := writeJournal(path, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJournal(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := readJournal(path); got != nil {
+		t.Fatalf("empty journal write should remove the file, read %v", got)
+	}
+}
+
+// TestPolicyRunRejected: the server is the executor; a policy with a Run
+// override is a misconfiguration.
+func TestPolicyRunRejected(t *testing.T) {
+	_, err := New(Config{Policy: exp.Policy{
+		Run: func(context.Context, chip.Spec) (*chip.Results, error) { return nil, nil },
+	}})
+	if err == nil {
+		t.Fatal("New accepted a Policy.Run override")
+	}
+}

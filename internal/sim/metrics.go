@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // metricKind distinguishes cumulative counters from level gauges: window
 // deltas subtract counters but carry gauges at their end-of-window level.
@@ -126,6 +129,18 @@ type Snapshot struct {
 // needs existence checks.
 func (s Snapshot) Value(name string) int64 { return s.Vals[name] }
 
+// Keys returns the snapshot's metric names in sorted order — the stable
+// iteration order wire formats (the service's /metrics endpoint, JSON
+// progress events) rely on, since Vals itself is an unordered map.
+func (s Snapshot) Keys() []string {
+	keys := make([]string, 0, len(s.Vals))
+	for k := range s.Vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Sampler turns a registry into an interval time series: Poll it once per
 // cycle and it records one windowed Delta snapshot per SampleEvery cycles.
 type Sampler struct {
@@ -134,6 +149,12 @@ type Sampler struct {
 	next  Cycle
 	prev  Snapshot
 	out   []Snapshot
+
+	// OnWindow, when non-nil, observes every recorded window right after
+	// it is appended to the series. It runs on the polling goroutine (the
+	// simulation loop) — observers that hand the snapshot to another
+	// goroutine must do so through their own synchronization.
+	OnWindow func(Snapshot)
 }
 
 // NewSampler starts sampling windows of the given length beginning at
@@ -150,7 +171,7 @@ func NewSampler(reg *Registry, every, start Cycle) *Sampler {
 func (s *Sampler) Poll(now Cycle) {
 	for now >= s.next {
 		cur := s.reg.Snapshot(s.next)
-		s.out = append(s.out, s.reg.Delta(cur, s.prev))
+		s.record(s.reg.Delta(cur, s.prev))
 		s.prev = cur
 		s.next += s.every
 	}
@@ -160,9 +181,16 @@ func (s *Sampler) Poll(now Cycle) {
 func (s *Sampler) Flush(now Cycle) {
 	if now > s.prev.At {
 		cur := s.reg.Snapshot(now)
-		s.out = append(s.out, s.reg.Delta(cur, s.prev))
+		s.record(s.reg.Delta(cur, s.prev))
 		s.prev = cur
 		s.next = now + s.every
+	}
+}
+
+func (s *Sampler) record(w Snapshot) {
+	s.out = append(s.out, w)
+	if s.OnWindow != nil {
+		s.OnWindow(w)
 	}
 }
 

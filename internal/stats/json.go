@@ -1,0 +1,56 @@
+package stats
+
+import "encoding/json"
+
+// The accumulator types keep their fields unexported so the hot recording
+// paths stay free of invariant-breaking writes, but chip.Results travels
+// over the wire between rcsweep -remote and rcserved — so Sample and
+// Histogram carry explicit JSON codecs that round-trip the full state.
+
+type sampleJSON struct {
+	N     int64   `json:"n"`
+	Sum   float64 `json:"sum"`
+	SumSq float64 `json:"sum_sq"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// MarshalJSON encodes the accumulator state.
+func (s Sample) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sampleJSON{N: s.n, Sum: s.sum, SumSq: s.sumSq, Min: s.min, Max: s.max})
+}
+
+// UnmarshalJSON restores the accumulator state.
+func (s *Sample) UnmarshalJSON(b []byte) error {
+	var w sampleJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	s.n, s.sum, s.sumSq, s.min, s.max = w.N, w.Sum, w.SumSq, w.Min, w.Max
+	return nil
+}
+
+type histogramJSON struct {
+	BucketWidth int64   `json:"bucket_width"`
+	Buckets     []int64 `json:"buckets"`
+	Overflow    int64   `json:"overflow"`
+	Sample      Sample  `json:"sample"`
+}
+
+// MarshalJSON encodes the bucket counts alongside the exact-moment sample.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{
+		BucketWidth: h.BucketWidth, Buckets: h.buckets,
+		Overflow: h.overflow, Sample: h.sample,
+	})
+}
+
+// UnmarshalJSON restores the histogram.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	h.BucketWidth, h.buckets, h.overflow, h.sample = w.BucketWidth, w.Buckets, w.Overflow, w.Sample
+	return nil
+}

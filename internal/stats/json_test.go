@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSampleJSONRoundTrip: every derived statistic must survive the wire.
+func TestSampleJSONRoundTrip(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		s.Add(v)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sample
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip lost state: %+v vs %+v", got, s)
+	}
+	if got.Mean() != s.Mean() || got.CI95() != s.CI95() || got.Min() != s.Min() || got.Max() != s.Max() {
+		t.Fatalf("derived stats diverge after round trip")
+	}
+}
+
+// TestHistogramJSONRoundTrip: buckets, overflow and the exact-moment
+// sample all reconstruct, so remote tail-latency reports match local ones.
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(4, 8)
+	for _, v := range []int64{0, 3, 4, 17, 31, 1000, -2} {
+		h.Add(v)
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &Histogram{}
+	if err := json.Unmarshal(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != h.Count() || got.Overflow() != h.Overflow() || got.Mean() != h.Mean() {
+		t.Fatalf("round trip lost counts: %+v vs %+v", got, h)
+	}
+	for i := 0; i < 8; i++ {
+		if got.Bucket(i) != h.Bucket(i) {
+			t.Fatalf("bucket %d = %d, want %d", i, got.Bucket(i), h.Bucket(i))
+		}
+	}
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		if got.Percentile(p) != h.Percentile(p) {
+			t.Fatalf("p%v diverges after round trip", p)
+		}
+	}
+}
+
+// TestLatencyRecordJSONRoundTrip covers the composite type chip.Results
+// actually embeds.
+func TestLatencyRecordJSONRoundTrip(t *testing.T) {
+	var l LatencyRecord
+	l.Add(10, 3)
+	l.Add(40, 7)
+	b, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got LatencyRecord
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != l.Total() || got.Network.N() != l.Network.N() {
+		t.Fatalf("latency record diverges after round trip")
+	}
+}
