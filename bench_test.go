@@ -341,6 +341,27 @@ func BenchmarkChipRun(b *testing.B) {
 	reportCycleRate(b, simCycles)
 }
 
+// BenchmarkChipRunVerify is BenchmarkChipRun with the invariant oracles
+// armed (Spec.Verify, default cadence): the ratio between the two is the
+// price of paranoia, quoted in DESIGN.md. Only the plain variant is pinned
+// by the CI bench gate.
+func BenchmarkChipRunVerify(b *testing.B) {
+	b.ReportAllocs()
+	c := config.Chip16()
+	v, _ := config.ByName("Complete_NoAck")
+	w := workload.Micro()
+	var simCycles int64
+	for i := 0; i < b.N; i++ {
+		spec := chip.DefaultSpec(c, v, w)
+		spec.MeasureOps = 3000
+		spec.Verify = true
+		r := chip.MustRun(spec)
+		simCycles += r.SimCycles
+		b.ReportMetric(float64(r.Cycles), "cycles")
+	}
+	reportCycleRate(b, simCycles)
+}
+
 // BenchmarkServeSubmitCached measures the service's cache-hit fast path:
 // submitting a spec whose results are already memoized. This is the whole
 // admission round trip — fingerprint, shard lookup, job bookkeeping —

@@ -1,0 +1,138 @@
+// Command covgate compares per-package test coverage against a committed
+// baseline and fails on regressions beyond a margin. The baseline is the
+// coverage at the time the gate was introduced (regenerate with -write
+// when coverage improves or packages appear); the margin absorbs the
+// jitter short-mode trimming introduces, so the gate catches "a change
+// landed without tests", not formatting noise.
+//
+// The -pr input is the plain output of `go test -cover ./...`. Packages
+// present in only one side are reported but never fail the gate, so adding
+// a package does not require touching the baseline in the same commit.
+//
+// Usage:
+//
+//	go test -short -cover ./... | tee COVER_pr.txt
+//	covgate -baseline COVERAGE_baseline.json -pr COVER_pr.txt
+//	covgate -baseline COVERAGE_baseline.json -pr COVER_pr.txt -write   # regenerate
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// coverLine matches `ok <pkg> <time> coverage: <pct>% of statements`.
+var coverLine = regexp.MustCompile(`^ok\s+(\S+)\s+\S+\s+coverage:\s+([0-9.]+)% of statements`)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	baselinePath := flag.String("baseline", "COVERAGE_baseline.json", "committed per-package coverage baseline")
+	prPath := flag.String("pr", "", "output of `go test -cover ./...` for the change under review")
+	margin := flag.Float64("margin", 2.0, "allowed per-package drop in coverage points")
+	write := flag.Bool("write", false, "rewrite the baseline from -pr instead of gating")
+	flag.Parse()
+
+	if *prPath == "" {
+		fmt.Fprintln(os.Stderr, "covgate: -pr is required")
+		return 2
+	}
+	pr, err := parseCover(*prPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covgate: %v\n", err)
+		return 2
+	}
+	if len(pr) == 0 {
+		fmt.Fprintf(os.Stderr, "covgate: no coverage lines found in %s\n", *prPath)
+		return 2
+	}
+
+	if *write {
+		out, err := json.MarshalIndent(pr, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "covgate: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "covgate: %v\n", err)
+			return 2
+		}
+		fmt.Printf("covgate: baseline %s rewritten with %d packages\n", *baselinePath, len(pr))
+		return 0
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covgate: %v\n", err)
+		return 2
+	}
+	baseline := map[string]float64{}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "covgate: parsing %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	var pkgs []string
+	for pkg := range baseline {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	failed := 0
+	for _, pkg := range pkgs {
+		base := baseline[pkg]
+		got, ok := pr[pkg]
+		if !ok {
+			fmt.Printf("covgate: %s missing from PR capture (baseline %.1f%%) — skipped\n", pkg, base)
+			continue
+		}
+		switch {
+		case got+*margin < base:
+			fmt.Printf("covgate: FAIL %s: %.1f%% -> %.1f%% (drop %.1f > margin %.1f)\n",
+				pkg, base, got, base-got, *margin)
+			failed++
+		case got < base:
+			fmt.Printf("covgate: %s: %.1f%% -> %.1f%% (within margin)\n", pkg, base, got)
+		}
+	}
+	for pkg, got := range pr {
+		if _, ok := baseline[pkg]; !ok {
+			fmt.Printf("covgate: new package %s at %.1f%% (not gated; add with -write)\n", pkg, got)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("covgate: %d package(s) regressed; if the drop is intended, regenerate with:\n"+
+			"  go test -short -cover ./... | tee COVER_pr.txt && go run ./cmd/covgate -pr COVER_pr.txt -write\n", failed)
+		return 1
+	}
+	fmt.Printf("covgate: %d packages within margin\n", len(pkgs))
+	return 0
+}
+
+// parseCover extracts {package: percent} from `go test -cover` output.
+func parseCover(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := coverLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		pct, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = pct
+	}
+	return out, sc.Err()
+}

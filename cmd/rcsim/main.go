@@ -18,6 +18,7 @@ import (
 	"reactivenoc/internal/config"
 	"reactivenoc/internal/core"
 	"reactivenoc/internal/prof"
+	"reactivenoc/internal/sim"
 	"reactivenoc/internal/workload"
 )
 
@@ -33,6 +34,8 @@ func main() {
 	baseline := flag.Bool("baseline", false, "also run the baseline and report speedup/energy ratios")
 	traceN := flag.Int("trace", 0, "print the last N message-lifecycle events")
 	audit := flag.Bool("audit", false, "run the conservation/coherence audits after the run")
+	verifyRun := flag.Bool("verify", false, "arm the online invariant oracles (internal/verify) during the run")
+	verifyEvery := flag.Int64("verify-every", 0, "oracle cadence in cycles with -verify (0 = default)")
 	timeout := flag.Duration("timeout", 0, "wall-clock cap for the run (0 = none)")
 	nopool := flag.Bool("nopool", false, "disable flit/message recycling (bit-identical; for bisecting pool bugs)")
 	// -trace is the message-lifecycle trace above, so the runtime execution
@@ -68,6 +71,8 @@ func main() {
 	spec.Audit = *audit
 	spec.Timeout = *timeout
 	spec.NoPool = *nopool
+	spec.Verify = *verifyRun
+	spec.VerifyEvery = sim.Cycle(*verifyEvery)
 	if err := profiles.Start(); err != nil {
 		fatal("%v", err)
 	}

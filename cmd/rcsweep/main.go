@@ -59,6 +59,7 @@ func run() int {
 	keepGoing := flag.Bool("keep-going", true, "survive failed runs and report them at the end")
 	failFast := flag.Bool("failfast", false, "stop scheduling new runs after the first failure")
 	remote := flag.String("remote", "", "base URL of a running rcserved; sweep cells are submitted there instead of simulated locally")
+	verifyRuns := flag.Bool("verify", false, "arm the online invariant oracles on every run of the sweep")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text tables")
 	mdOut := flag.Bool("md", false, "emit the full evaluation as a markdown report (implies -exp all)")
 	profiles := prof.Flags("trace")
@@ -87,6 +88,7 @@ func run() int {
 	pol := exp.DefaultPolicy()
 	pol.Timeout = *timeout
 	pol.FailFast = *failFast || !*keepGoing
+	pol.Verify = *verifyRuns
 	if *remote != "" {
 		// The server executes (and retries) each cell; rcsweep's workers
 		// become concurrent HTTP clients of it. -timeout still rides along

@@ -20,6 +20,7 @@ import (
 	"reactivenoc/internal/power"
 	"reactivenoc/internal/sim"
 	"reactivenoc/internal/trace"
+	"reactivenoc/internal/verify"
 	"reactivenoc/internal/workload"
 )
 
@@ -45,6 +46,19 @@ type Spec struct {
 	// (leaked circuit entries, unreturned credits, directory soundness)
 	// and fails the run on any violation.
 	Audit bool
+
+	// Verify arms the online invariant oracles (internal/verify) inside
+	// the cycle loop: credit and flit conservation, per-VC order, circuit
+	// table legality, registry/table cross-checks, circuit leaks, the
+	// single-writer coherence invariant, and a waits-for-graph deadlock
+	// detector that fires before the watchdog. A violation fails the run
+	// with RunError.Oracle naming the detector. Off by default: the
+	// measured hot path pays nothing for the machinery.
+	Verify bool
+	// VerifyEvery is the oracle cadence in cycles when Verify is set
+	// (0 = a default of 128). Fault-injection tests run at 1 so a
+	// corruption is caught on the boundary it appears.
+	VerifyEvery sim.Cycle
 
 	// Timeout caps the run's wall-clock time (0 = none); an exceeded run
 	// returns a *RunError instead of hogging its sweep worker.
@@ -329,6 +343,18 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 		wallDeadline = time.Now().Add(spec.Timeout)
 	}
 
+	// The oracle suite samples the machine on its own cadence, below the
+	// watchdog threshold so a structural deadlock is diagnosed as a
+	// waits-for cycle before the watchdog can blame generic "no progress".
+	var suite *verify.Suite
+	verifyEvery := spec.VerifyEvery
+	if spec.Verify {
+		if verifyEvery <= 0 {
+			verifyEvery = 128
+		}
+		suite = verify.NewSuite(verify.Config{Sys: sys, ProgressStall: stall / 2})
+	}
+
 	allDone := func() bool { return doneCores == n && !sys.Busy() }
 
 	// runPhase advances until every core finishes, with a forward-progress
@@ -365,6 +391,13 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 			kernel.Step()
 			if sampler != nil {
 				sampler.Poll(kernel.Now())
+			}
+			if suite != nil && kernel.Now()%verifyEvery == 0 {
+				if v := suite.Check(kernel.Now()); v != nil {
+					e := runErr(v.Msg, false)
+					e.Oracle = v.Oracle
+					return e
+				}
 			}
 		}
 		if allDone() {
@@ -407,6 +440,14 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 		sampler.Flush(kernel.Now())
 	}
 
+	if suite != nil {
+		phase = "audit"
+		if v := suite.CheckQuiescent(kernel.Now()); v != nil {
+			e := runErr(v.Msg, false)
+			e.Oracle = v.Oracle
+			return nil, e
+		}
+	}
 	if spec.Audit {
 		phase = "audit"
 		if aerr := sys.AuditQuiescent(kernel.Now()); aerr != nil {

@@ -166,16 +166,26 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 }
 
+// crossCheckRows selects the determinism-matrix cells the pooled/unpooled
+// and sparse/dense cross-checks run: baseline, the complete mechanism, the
+// scrounger-reuse and timed-circuit variants (whose circuit-riding and
+// window-expiry paths have the trickiest pointer and scheduling lifetimes),
+// a canneal cell, and the 64-core reuse/timed cells. Under -short the
+// list trims to the 16-core distinct-mechanism cells.
+func crossCheckRows() []int {
+	if testing.Short() {
+		return []int{0, 3, 4, 5}
+	}
+	return []int{0, 3, 4, 5, 14, 28, 29}
+}
+
 // TestPooledMatchesUnpooled cross-checks flit/message recycling against the
 // garbage-collected reference on a few cells: pooling only changes pointer
 // identity, never simulated behaviour, so every pinned aggregate and every
 // metric (including the pool's own alloc counters being the only divergence
 // allowed) must agree bit for bit.
 func TestPooledMatchesUnpooled(t *testing.T) {
-	rows := []int{0, 3, 14}
-	if testing.Short() {
-		rows = rows[:2]
-	}
+	rows := crossCheckRows()
 	for _, i := range rows {
 		row := goldenMatrix[i]
 		t.Run(row.chip+"/"+row.workload+"/"+row.variant, func(t *testing.T) {
@@ -213,10 +223,7 @@ func TestPooledMatchesUnpooled(t *testing.T) {
 // behaviour) and sparse (skip quiescent components) must agree on every
 // pinned aggregate and on the metrics snapshot.
 func TestDenseMatchesSparse(t *testing.T) {
-	rows := []int{0, 3, 14}
-	if testing.Short() {
-		rows = rows[:2]
-	}
+	rows := crossCheckRows()
 	for _, i := range rows {
 		row := goldenMatrix[i]
 		t.Run(row.chip+"/"+row.workload+"/"+row.variant, func(t *testing.T) {

@@ -32,6 +32,13 @@ type RunError struct {
 	Msg      string
 	Panicked bool
 
+	// Oracle names the verification-suite oracle that caught the failure
+	// ("credit-conservation", "circuit-registry", ...) when the run was
+	// executed with Spec.Verify; empty otherwise. Chaos tests assert on it
+	// to prove each fault class is caught by its intended detector rather
+	// than the generic watchdog.
+	Oracle string
+
 	// Diag is the network state dump plus the live-circuit dump taken at
 	// failure time.
 	Diag string
@@ -52,6 +59,9 @@ func (e *RunError) Error() string {
 	kind := ""
 	if e.Panicked {
 		kind = " (invariant panic)"
+	}
+	if e.Oracle != "" {
+		kind += fmt.Sprintf(" [oracle %s]", e.Oracle)
 	}
 	return fmt.Sprintf("chip: run %s failed in %s phase at cycle %d%s: %s",
 		e.Fingerprint(), e.Phase, e.Cycle, kind, e.Msg)

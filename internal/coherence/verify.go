@@ -1,0 +1,35 @@
+package coherence
+
+import (
+	"fmt"
+
+	"reactivenoc/internal/cache"
+)
+
+// CheckSingleWriter is the online slice of the coherence audit: at most one
+// L1 may hold a line exclusively (E or M) at any cycle boundary, even
+// mid-transaction. The remaining AuditCoherence invariants (inclusion,
+// directory owner/sharer agreement) are legitimately violated while a
+// transfer is in flight and stay quiescent-only; two simultaneous writers
+// never are.
+func (s *System) CheckSingleWriter() error {
+	owner := map[cache.Addr]int{}
+	for tile, l1 := range s.L1s {
+		c := l1.Cache()
+		cfg := c.Config()
+		for set := 0; set < cfg.Sets(); set++ {
+			hint := cache.Addr(set * cfg.LineBytes)
+			for _, line := range c.Lines(hint) {
+				if !line.Valid || (line.State != l1M && line.State != l1E) {
+					continue
+				}
+				a := c.AddrOf(&line, hint)
+				if prev, dup := owner[a]; dup {
+					return fmt.Errorf("coherence: %#x held exclusively by both tile %d and tile %d", a, prev, tile)
+				}
+				owner[a] = tile
+			}
+		}
+	}
+	return nil
+}

@@ -708,7 +708,14 @@ func (mg *Manager) scroungeTarget(ni mesh.NodeID, msg *noc.Message) *record {
 			continue
 		}
 		gain := from - mg.m.Hops(r.key.dest, msg.Dst)
-		if gain > bestGain {
+		// Ties break on the circuit key, not map order: iteration order is
+		// randomized per run, and a wandering pick here diverges whole runs.
+		better := gain > bestGain
+		if gain == bestGain && best != nil {
+			better = r.key.dest < best.key.dest ||
+				(r.key.dest == best.key.dest && r.key.block < best.key.block)
+		}
+		if better {
 			best, bestGain = r, gain
 		}
 	}

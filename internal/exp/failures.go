@@ -31,6 +31,9 @@ type Policy struct {
 	// cells to a running rcserved instead of simulating locally. Retry,
 	// FailFast and Timeout semantics apply unchanged around it.
 	Run func(ctx context.Context, spec chip.Spec) (*chip.Results, error)
+	// Verify arms the online invariant oracles (chip.Spec.Verify) on every
+	// run of the experiment — `rcsweep -verify` for paranoid sweeps.
+	Verify bool
 }
 
 // DefaultPolicy keeps going past failures and retries each once.
@@ -161,6 +164,9 @@ func (p Policy) RunOne(ctx context.Context, spec chip.Spec) (res *chip.Results, 
 	}
 	if p.FaultFor != nil {
 		spec.Fault = p.FaultFor(spec.Variant.Name, spec.Workload.Name)
+	}
+	if p.Verify {
+		spec.Verify = true
 	}
 	r, err := exec(ctx, spec)
 	if err == nil {

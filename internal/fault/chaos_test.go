@@ -1,9 +1,10 @@
 // Chaos suite: every fault class the injector can produce must be caught
-// by one of the simulator's detectors — a contained invariant panic, the
-// deadlock watchdog, or the quiescence audits — within a bounded number of
-// cycles, and the failure must surface as an actionable *chip.RunError.
-// A run that absorbs an injected corruption and still reports results
-// would be a silent escape; these tests exist to make that impossible.
+// by its *intended* detector — the named invariant oracle the verification
+// suite maps it to (verify.OraclesFor), not merely the watchdog or a lucky
+// panic — within a bounded number of cycles, and the failure must surface
+// as an actionable *chip.RunError. A run that absorbs an injected
+// corruption and still reports results would be a silent escape; these
+// tests exist to make that impossible.
 package fault_test
 
 import (
@@ -13,11 +14,13 @@ import (
 	"reactivenoc/internal/chip"
 	"reactivenoc/internal/config"
 	"reactivenoc/internal/fault"
+	"reactivenoc/internal/verify"
 	"reactivenoc/internal/workload"
 )
 
-// chaosSpec is a short 16-core run with the audits armed, so corruption
-// that survives to quiescence is still caught.
+// chaosSpec is a short 16-core run with the audits armed and the oracle
+// suite checking every cycle, so a corruption is attributed to its
+// detector on the boundary it becomes observable.
 func chaosSpec(t *testing.T, variant string, w workload.Profile) chip.Spec {
 	t.Helper()
 	v, ok := config.ByName(variant)
@@ -28,7 +31,25 @@ func chaosSpec(t *testing.T, variant string, w workload.Profile) chip.Spec {
 	spec.WarmupOps = 1000
 	spec.MeasureOps = 3000
 	spec.Audit = true
+	spec.Verify = true
+	spec.VerifyEvery = 1
 	return spec
+}
+
+// mustDetectBy runs the armed spec and asserts the fault was caught by one
+// of the named oracles — the detection-regression gate on top of
+// mustDetect's silent-escape gate.
+func mustDetectBy(t *testing.T, spec chip.Spec, oracles []string) *chip.RunError {
+	t.Helper()
+	re := mustDetect(t, spec)
+	for _, want := range oracles {
+		if re.Oracle == want {
+			return re
+		}
+	}
+	t.Fatalf("%v fault caught by %q (phase %s: %s), want oracle in %v",
+		spec.Fault.Class, re.Oracle, re.Phase, re.Msg, oracles)
+	return nil
 }
 
 // mustDetect runs the armed spec and asserts the fault was injected AND
@@ -64,7 +85,7 @@ func mustDetect(t *testing.T, spec chip.Spec) *chip.RunError {
 func TestChaosFlipBuiltBit(t *testing.T) {
 	spec := chaosSpec(t, "Complete_NoAck", workload.Micro())
 	spec.Fault = &fault.Plan{Class: fault.FlipBuiltBit}
-	re := mustDetect(t, spec)
+	re := mustDetectBy(t, spec, verify.OraclesFor(fault.FlipBuiltBit))
 	if re.Faults[0].Class != fault.FlipBuiltBit {
 		t.Fatalf("wrong fault logged: %v", re.Faults[0])
 	}
@@ -75,26 +96,23 @@ func TestChaosDropUndoToken(t *testing.T) {
 	// frequent enough that one token can be swallowed mid-walk.
 	spec := chaosSpec(t, "Complete_NoAck", workload.Micro().Scaled(8))
 	spec.Fault = &fault.Plan{Class: fault.DropUndoToken}
-	re := mustDetect(t, spec)
-	if re.Phase != "audit" && !re.Panicked {
-		t.Logf("caught by %s phase: %s", re.Phase, re.Msg)
-	}
+	mustDetectBy(t, spec, verify.OraclesFor(fault.DropUndoToken))
 }
 
 func TestChaosTruncateWindow(t *testing.T) {
 	spec := chaosSpec(t, "SlackDelay_1_NoAck", workload.Micro())
 	spec.Fault = &fault.Plan{Class: fault.TruncateWindow, Count: 2}
-	mustDetect(t, spec)
+	mustDetectBy(t, spec, verify.OraclesFor(fault.TruncateWindow))
 }
 
 func TestChaosWithholdCredit(t *testing.T) {
 	// Credit conservation is variant-independent: even the circuit-free
-	// baseline must notice a vanished credit at quiescence.
+	// baseline must notice a vanished credit, online and immediately.
 	spec := chaosSpec(t, "Baseline", workload.Micro())
 	spec.Fault = &fault.Plan{Class: fault.WithholdCredit}
-	re := mustDetect(t, spec)
-	if re.Phase != "audit" {
-		t.Logf("withheld credit caught earlier than the audit: %s/%s", re.Phase, re.Msg)
+	re := mustDetectBy(t, spec, verify.OraclesFor(fault.WithholdCredit))
+	if re.Phase == "audit" {
+		t.Errorf("withheld credit only surfaced at the end-of-run audit: %s", re.Msg)
 	}
 }
 
@@ -102,12 +120,29 @@ func TestChaosStallLink(t *testing.T) {
 	spec := chaosSpec(t, "Complete_NoAck", workload.Micro())
 	spec.Fault = &fault.Plan{Class: fault.StallLink, After: 2000}
 	spec.WatchdogStall = 3000 // don't wait the production 50k cycles
+	re := mustDetectBy(t, spec, verify.OraclesFor(fault.StallLink))
+	if re.Diag == "" {
+		t.Fatal("stall failure lacks the network state dump")
+	}
+	if !strings.Contains(re.Msg, "no flit moved") {
+		t.Fatalf("progress oracle message lacks the stall description: %s", re.Msg)
+	}
+}
+
+// TestChaosWatchdogFallback proves the layered-defense story: with the
+// oracle suite disarmed, a stalled link must still be caught — by the
+// generic forward-progress watchdog, the pre-oracle behaviour.
+func TestChaosWatchdogFallback(t *testing.T) {
+	spec := chaosSpec(t, "Complete_NoAck", workload.Micro())
+	spec.Verify = false
+	spec.Fault = &fault.Plan{Class: fault.StallLink, After: 2000}
+	spec.WatchdogStall = 3000
 	re := mustDetect(t, spec)
+	if re.Oracle != "" {
+		t.Fatalf("oracle %q fired with Verify off", re.Oracle)
+	}
 	if !strings.Contains(re.Msg, "no progress") && !strings.Contains(re.Msg, "did not finish") {
 		t.Fatalf("stalled link not caught by the watchdog: %s", re.Msg)
-	}
-	if re.Diag == "" {
-		t.Fatal("watchdog failure lacks the network state dump")
 	}
 }
 
@@ -143,7 +178,12 @@ func TestChaosEveryClassDetected(t *testing.T) {
 		c, spec := c, spec
 		t.Run(c.String(), func(t *testing.T) {
 			t.Parallel()
-			mustDetect(t, spec)
+			if oracles := verify.OraclesFor(c); oracles != nil {
+				mustDetectBy(t, spec, oracles)
+			} else {
+				t.Errorf("fault class %v has no oracle mapping: add one to verify.OraclesFor", c)
+				mustDetect(t, spec)
+			}
 		})
 	}
 }

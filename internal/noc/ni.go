@@ -41,6 +41,13 @@ type NI struct {
 	// expectSeq validates wormhole integrity on ejection: flits of each
 	// message must arrive in sequence order with none missing.
 	expectSeq map[*Message]int
+
+	// injected/ejected count flits this NI has put on and taken off the
+	// network, feeding the verification suite's conservation and progress
+	// oracles. Local (Src == Dst) deliveries never become flits and are
+	// not counted.
+	injected int64
+	ejected  int64
 }
 
 // openMsg is the message currently serializing into flits on a virtual
@@ -163,6 +170,7 @@ func (ni *NI) Tick(now sim.Cycle) {
 	}
 
 	if f := ni.fromRouter.Recv(now); f != nil {
+		ni.ejected++
 		ni.checkSequence(f)
 		if f.Tail {
 			ni.deliverTail(f, now)
@@ -304,6 +312,7 @@ func (ni *NI) tryInjectVN(vn int, now sim.Cycle) bool {
 		}
 	}
 	ni.toRouter.Send(f, now)
+	ni.injected++
 	ni.ev.LinkFlits++
 	o.next++
 	if o.next == o.msg.Size {

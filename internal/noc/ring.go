@@ -70,9 +70,15 @@ func (r *ring[T]) Front() T {
 }
 
 // Pop removes and returns the head element, zeroing its slot so the ring
-// does not pin popped pointers.
+// does not pin popped pointers. Popping an empty ring returns the zero
+// value and leaves the ring empty — every hot-path caller checks Len
+// first, so the guard costs one predictable branch and turns a would-be
+// state corruption (n going negative) into a harmless no-op.
 func (r *ring[T]) Pop() T {
 	var zero T
+	if r.n == 0 {
+		return zero
+	}
 	v := r.buf[r.head]
 	r.buf[r.head] = zero
 	r.head = (r.head + 1) & (len(r.buf) - 1)

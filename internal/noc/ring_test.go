@@ -1,0 +1,223 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRingEdgeCases drives the ring through the boundary conditions the hot
+// path depends on: wrap-around at full capacity, growth on push-into-full,
+// pop from empty, and length bookkeeping under interleaved push/pop.
+func TestRingEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"wrap-around at full capacity", func(t *testing.T) {
+			var r ring[int]
+			r.reserve(8)
+			if len(r.buf) != 8 {
+				t.Fatalf("reserve(8): cap %d, want 8", len(r.buf))
+			}
+			// Rotate the head so pushes wrap past the end of the backing array.
+			for i := 0; i < 5; i++ {
+				r.Push(i)
+			}
+			for i := 0; i < 5; i++ {
+				if got := r.Pop(); got != i {
+					t.Fatalf("warm-up pop %d: got %d", i, got)
+				}
+			}
+			// head is now 5; fill to capacity: indices 5,6,7,0,1,2,3,4.
+			for i := 0; i < 8; i++ {
+				r.Push(100 + i)
+			}
+			if r.Len() != 8 || len(r.buf) != 8 {
+				t.Fatalf("full ring: len=%d cap=%d, want 8/8", r.Len(), len(r.buf))
+			}
+			for i := 0; i < 8; i++ {
+				if got := r.Pop(); got != 100+i {
+					t.Fatalf("wrapped pop %d: got %d, want %d", i, got, 100+i)
+				}
+			}
+			if r.Len() != 0 {
+				t.Fatalf("drained ring has len %d", r.Len())
+			}
+		}},
+		{"push on full grows and preserves order", func(t *testing.T) {
+			var r ring[int]
+			r.reserve(8)
+			// Wrap the contents so growth must linearize a split buffer.
+			for i := 0; i < 6; i++ {
+				r.Push(i)
+			}
+			for i := 0; i < 6; i++ {
+				r.Pop()
+			}
+			for i := 0; i < 8; i++ {
+				r.Push(i)
+			}
+			r.Push(8) // full -> grow
+			if len(r.buf) != 16 {
+				t.Fatalf("grown cap %d, want 16", len(r.buf))
+			}
+			if r.Len() != 9 {
+				t.Fatalf("grown len %d, want 9", r.Len())
+			}
+			for i := 0; i <= 8; i++ {
+				if got := r.Pop(); got != i {
+					t.Fatalf("post-growth pop %d: got %d", i, got)
+				}
+			}
+		}},
+		{"pop on empty returns zero and stays sane", func(t *testing.T) {
+			var r ring[*Flit]
+			if got := r.Pop(); got != nil {
+				t.Fatalf("pop of never-used ring: got %v, want nil", got)
+			}
+			if r.Len() != 0 {
+				t.Fatalf("len after empty pop: %d", r.Len())
+			}
+			r.Push(&Flit{Seq: 1})
+			r.Pop()
+			if got := r.Pop(); got != nil {
+				t.Fatalf("pop of drained ring: got %v, want nil", got)
+			}
+			if r.Len() != 0 {
+				t.Fatalf("len after drained pop: %d, want 0", r.Len())
+			}
+			// The ring must still work after the underflow attempt.
+			r.Push(&Flit{Seq: 2})
+			if got := r.Pop(); got == nil || got.Seq != 2 {
+				t.Fatalf("ring unusable after empty pop: got %v", got)
+			}
+		}},
+		{"len under interleaved push and pop", func(t *testing.T) {
+			var r ring[int]
+			want := 0
+			next, expect := 0, 0
+			rng := rand.New(rand.NewSource(42))
+			for step := 0; step < 10_000; step++ {
+				if r.Len() != want {
+					t.Fatalf("step %d: len=%d, want %d", step, r.Len(), want)
+				}
+				if rng.Intn(2) == 0 || want == 0 {
+					r.Push(next)
+					next++
+					want++
+				} else {
+					if got := r.Pop(); got != expect {
+						t.Fatalf("step %d: pop=%d, want %d", step, got, expect)
+					}
+					expect++
+					want--
+				}
+			}
+		}},
+		{"pushfront and removeat keep FIFO order", func(t *testing.T) {
+			var r ring[int]
+			r.Push(2)
+			r.Push(3)
+			r.PushFront(1)
+			r.Push(4)
+			if got := r.At(0); got != 1 {
+				t.Fatalf("At(0)=%d, want 1", got)
+			}
+			if got := r.RemoveAt(2); got != 3 {
+				t.Fatalf("RemoveAt(2)=%d, want 3", got)
+			}
+			wantSeq := []int{1, 2, 4}
+			for i, w := range wantSeq {
+				if got := r.Pop(); got != w {
+					t.Fatalf("pop %d: got %d, want %d", i, got, w)
+				}
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}
+
+// TestSpecTableRandomInsertDelete is the backward-shift-deletion property
+// test: after any sequence of put/del, every key inserted and not deleted is
+// findable exactly once, every deleted key is absent, and the live count
+// matches the model. Orphaning (a key stranded past an empty slot) shows up
+// as a failed get; duplication shows up in the slot scan.
+func TestSpecTableRandomInsertDelete(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var tab specTable
+		model := map[uint64]specRoute{}
+		var keys []uint64
+		for step := 0; step < 5_000; step++ {
+			if rng.Intn(3) != 0 || len(keys) == 0 {
+				// Small key range maximizes probe-chain collisions.
+				id := uint64(rng.Intn(64) + 1)
+				v := specRoute{outVC: rng.Intn(4)}
+				if _, exists := model[id]; !exists {
+					keys = append(keys, id)
+				}
+				model[id] = v
+				tab.put(id, v)
+			} else {
+				i := rng.Intn(len(keys))
+				id := keys[i]
+				keys[i] = keys[len(keys)-1]
+				keys = keys[:len(keys)-1]
+				delete(model, id)
+				tab.del(id)
+			}
+			checkSpecTable(t, &tab, model, seed, step)
+			if t.Failed() {
+				return
+			}
+		}
+		// Drain completely: an emptied table must hold nothing.
+		for _, id := range keys {
+			tab.del(id)
+			delete(model, id)
+		}
+		checkSpecTable(t, &tab, model, seed, -1)
+		if tab.live() != 0 {
+			t.Fatalf("seed %d: drained table has %d live entries", seed, tab.live())
+		}
+	}
+}
+
+// checkSpecTable asserts table-vs-model agreement and scans the raw slots
+// for duplicates or keys missing from the model.
+func checkSpecTable(t *testing.T, tab *specTable, model map[uint64]specRoute, seed int64, step int) {
+	t.Helper()
+	if tab.live() != len(model) {
+		t.Errorf("seed %d step %d: live=%d, model=%d", seed, step, tab.live(), len(model))
+		return
+	}
+	for id, want := range model {
+		got, ok := tab.get(id)
+		if !ok {
+			t.Errorf("seed %d step %d: key %d orphaned (in model, not findable)", seed, step, id)
+			return
+		}
+		if got != want {
+			t.Errorf("seed %d step %d: key %d: got %+v, want %+v", seed, step, id, got, want)
+			return
+		}
+	}
+	seen := map[uint64]int{}
+	for _, k := range tab.keys {
+		if k != 0 {
+			seen[k]++
+		}
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("seed %d step %d: key %d duplicated in %d slots", seed, step, k, n)
+			return
+		}
+		if _, ok := model[k]; !ok {
+			t.Errorf("seed %d step %d: key %d present in table but deleted", seed, step, k)
+			return
+		}
+	}
+}

@@ -70,9 +70,9 @@ func (c *resultCache) shardFor(fp string) *cacheShard {
 type admitOutcome int
 
 const (
-	admitHit   admitOutcome = iota // cached results returned
-	admitJoin                      // coalesced onto an in-flight job
-	admitNew                       // caller's job registered in-flight
+	admitHit  admitOutcome = iota // cached results returned
+	admitJoin                     // coalesced onto an in-flight job
+	admitNew                      // caller's job registered in-flight
 )
 
 // admit decides a submission's fate atomically: a cached result wins, an
