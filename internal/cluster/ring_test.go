@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringNodes(n int) []Node {
+	out := make([]Node, n)
+	for i := range out {
+		out[i] = Node{ID: fmt.Sprintf("node-%d", i), URL: fmt.Sprintf("http://10.0.0.%d:8134", i)}
+	}
+	return out
+}
+
+// TestRingDeterministic: two rings built from the same membership — in any
+// order — route every key identically. This is the property the whole
+// cluster leans on: client and nodes never exchange routing tables, they
+// just agree by construction.
+func TestRingDeterministic(t *testing.T) {
+	nodes := ringNodes(5)
+	a := NewRing(nodes, 0)
+	reversed := make([]Node, len(nodes))
+	for i, n := range nodes {
+		reversed[len(nodes)-1-i] = n
+	}
+	b := NewRing(reversed, 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("fingerprint-%d", i)
+		na, _ := a.Owner(key)
+		nb, _ := b.Owner(key)
+		if na.ID != nb.ID {
+			t.Fatalf("key %q: owner %s vs %s across identical memberships", key, na.ID, nb.ID)
+		}
+	}
+}
+
+// TestRingBalance: with vnodes, no node owns a wildly disproportionate
+// keyspace share (each of 4 nodes should see ~25% ± a loose factor).
+func TestRingBalance(t *testing.T) {
+	r := NewRing(ringNodes(4), 0)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		n, ok := r.Owner(fmt.Sprintf("fp-%d", i))
+		if !ok {
+			t.Fatal("owner lookup failed")
+		}
+		counts[n.ID]++
+	}
+	for id, c := range counts {
+		if c < keys/4/2 || c > keys/4*2 {
+			t.Fatalf("node %s owns %d of %d keys — ring badly unbalanced: %v", id, c, keys, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing one node must not move any key whose
+// owner survives — only the dead node's keyspace re-homes.
+func TestRingMinimalMovement(t *testing.T) {
+	nodes := ringNodes(5)
+	before := NewRing(nodes, 0)
+	after := NewRing(nodes[:4], 0) // node-4 removed
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		ob, _ := before.Owner(key)
+		oa, _ := after.Owner(key)
+		if ob.ID == "node-4" {
+			moved++
+			if oa.ID == "node-4" {
+				t.Fatal("key still owned by a removed node")
+			}
+			continue
+		}
+		if ob.ID != oa.ID {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, ob.ID, oa.ID)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRingSuccessors: the failover order starts at the owner, never
+// repeats a node, and is itself deterministic — every client re-dispatches
+// a dead node's key to the same survivor.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(ringNodes(4), 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		owner, _ := r.Owner(key)
+		succ := r.Successors(key, 4)
+		if len(succ) != 4 {
+			t.Fatalf("Successors returned %d nodes, want 4", len(succ))
+		}
+		if succ[0].ID != owner.ID {
+			t.Fatalf("failover order does not start at the owner: %s vs %s", succ[0].ID, owner.ID)
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n.ID] {
+				t.Fatalf("failover order repeats %s", n.ID)
+			}
+			seen[n.ID] = true
+		}
+	}
+	// Clamped when n exceeds membership.
+	if got := r.Successors("k", 99); len(got) != 4 {
+		t.Fatalf("Successors(99) = %d nodes", len(got))
+	}
+	// Empty ring: no owner, no successors.
+	empty := NewRing(nil, 0)
+	if _, ok := empty.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if got := empty.Successors("k", 3); got != nil {
+		t.Fatalf("empty ring returned successors: %v", got)
+	}
+}
+
+// TestMovedShare: identical rings score zero churn; removing a node scores
+// roughly its keyspace share; a full replacement scores everything.
+func TestMovedShare(t *testing.T) {
+	nodes := ringNodes(4)
+	a := NewRing(nodes, 0)
+	if got := MovedShare(a, NewRing(nodes, 0)); got != 0 {
+		t.Fatalf("identical rings moved %d probes", got)
+	}
+	drop := MovedShare(a, NewRing(nodes[:3], 0))
+	if drop == 0 || drop > movedProbes/2 {
+		t.Fatalf("dropping 1 of 4 nodes moved %d of %d probes", drop, movedProbes)
+	}
+	other := ringNodes(8)[4:]
+	if got := MovedShare(a, NewRing(other, 0)); got != movedProbes {
+		t.Fatalf("total replacement moved %d of %d probes", got, movedProbes)
+	}
+}

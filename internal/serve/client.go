@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -44,6 +46,28 @@ type retryAfterError struct {
 
 func (e *retryAfterError) Error() string {
 	return fmt.Sprintf("serve: server busy (HTTP %d), retry after %v", e.status, e.after)
+}
+
+// IsBackpressure reports whether err is a 429/503 backpressure response
+// and, if so, the server's Retry-After hint.
+func IsBackpressure(err error) (time.Duration, bool) {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.after, true
+	}
+	return 0, false
+}
+
+// StatusError is a non-backpressure HTTP failure from the server. Callers
+// (the cluster client) use the code to tell a rejected request (4xx — the
+// job's fault, don't re-dispatch) from a broken node (everything else).
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: HTTP %d: %s", e.Code, e.Msg)
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
@@ -85,7 +109,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if ae.Error == "" {
 			ae.Error = resp.Status
 		}
-		return fmt.Errorf("serve: %s %s: %s", method, path, ae.Error)
+		return &StatusError{Code: resp.StatusCode, Msg: fmt.Sprintf("%s %s: %s", method, path, ae.Error)}
 	}
 }
 
@@ -126,13 +150,39 @@ func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
 	}
 }
 
+// backpressureMaxWait bounds the exponential growth of backpressure
+// sleeps; the jitter can stretch one sleep to at most 1.5x this.
+const backpressureMaxWait = 15 * time.Second
+
+// backpressureWait derives the attempt'th backpressure sleep from the
+// server's Retry-After hint: bounded exponential growth with full jitter
+// in [w/2, 3w/2), so N sweep workers rejected by the same recovering node
+// spread their retries out instead of stampeding it in lockstep.
+func backpressureWait(hint time.Duration, attempt int) time.Duration {
+	w := hint
+	if w <= 0 {
+		w = time.Second
+	}
+	for i := 1; i < attempt && w < backpressureMaxWait; i++ {
+		w *= 2
+	}
+	if w > backpressureMaxWait {
+		w = backpressureMaxWait
+	}
+	return w/2 + time.Duration(rand.Int63n(int64(w)))
+}
+
 // Run submits the spec and blocks for its results — the remote equivalent
-// of chip.RunCtx, honoring backpressure by waiting out Retry-After. A
-// failed run comes back as the server's structured *chip.RunError, so
-// exp's failure reports look the same whether the run was local or remote.
+// of chip.RunCtx, honoring backpressure by waiting out Retry-After with
+// jittered, bounded-exponential sleeps. The total wait is capped by the
+// caller's context deadline: when the next sleep cannot fit before the
+// deadline, Run gives up immediately with the backpressure error instead
+// of burning the remaining budget asleep. A failed run comes back as the
+// server's structured *chip.RunError, so exp's failure reports look the
+// same whether the run was local or remote.
 func (c *Client) Run(ctx context.Context, spec chip.Spec) (*chip.Results, error) {
 	var st JobStatus
-	for {
+	for attempt := 1; ; attempt++ {
 		var err error
 		st, err = c.Submit(ctx, spec)
 		if err == nil {
@@ -142,10 +192,14 @@ func (c *Client) Run(ctx context.Context, spec chip.Spec) (*chip.Results, error)
 		if !ok {
 			return nil, err
 		}
+		wait := backpressureWait(ra.after, attempt)
+		if dl, ok := ctx.Deadline(); ok && time.Now().Add(wait).After(dl) {
+			return nil, fmt.Errorf("serve: backpressure outlasted the context deadline after %d attempts: %w", attempt, err)
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(ra.after):
+		case <-time.After(wait):
 		}
 	}
 	if !st.State.Terminal() {
@@ -178,6 +232,86 @@ func (c *Client) Run(ctx context.Context, spec chip.Spec) (*chip.Results, error)
 	default:
 		return nil, fmt.Errorf("serve: job %s was %s by server shutdown; resubmit after restart", st.ID, st.State)
 	}
+}
+
+// Follow streams a job's events, starting at cursor after (the Seq of the
+// first event wanted), invoking fn for each. It returns the next cursor —
+// one past the last delivered Seq. A nil error means the stream reached a
+// terminal event; any other outcome (the node died mid-stream, fn bailed)
+// returns the cursor to resume from. Because a journal-replayed job
+// re-runs deterministically under its original id, resuming with that
+// cursor on the replacement node yields exactly the events the broken
+// stream never delivered — no window is ever seen twice.
+func (c *Client) Follow(ctx context.Context, id string, after int, fn func(Event) error) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/jobs/%s/events?after=%d", c.base, id, after), nil)
+	if err != nil {
+		return after, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return after, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		_ = json.NewDecoder(resp.Body).Decode(&ae)
+		if ae.Error == "" {
+			ae.Error = resp.Status
+		}
+		return after, &StatusError{Code: resp.StatusCode, Msg: "GET events: " + ae.Error}
+	}
+	next := after
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return next, fmt.Errorf("serve: bad event frame: %w", err)
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return next, err
+			}
+		}
+		next = ev.Seq + 1
+		if ev.At.Terminal() {
+			return next, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return next, err
+	}
+	return next, io.ErrUnexpectedEOF
+}
+
+// CachedFingerprints scrapes /v1/cache: the node's cached result
+// fingerprints, sorted.
+func (c *Client) CachedFingerprints(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/cache", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: GET /v1/cache: %s", resp.Status)
+	}
+	var fps []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if fp := strings.TrimSpace(sc.Text()); fp != "" {
+			fps = append(fps, fp)
+		}
+	}
+	return fps, sc.Err()
 }
 
 // Metrics scrapes /metrics into a name→value map.

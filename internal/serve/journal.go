@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -60,30 +61,44 @@ func writeJournal(path string, entries []journalEntry) error {
 // readJournal loads and consumes the journal at path: entries are returned
 // and the file is removed, so a replayed job cannot be replayed twice by a
 // crash loop. A missing journal is an empty one.
-func readJournal(path string) ([]journalEntry, error) {
-	f, err := os.Open(path)
+//
+// A truncated or otherwise unparseable *final* record is the signature of
+// a crash mid-write (the process died between appending and fsync): it is
+// skipped with a warning through warn, and every intact record before it
+// still replays. Corruption anywhere else in the file cannot be explained
+// by a torn write and aborts the load — replaying a journal whose middle
+// is garbage risks silently dropping an unknown number of jobs.
+func readJournal(path string, warn func(format string, args ...any)) ([]journalEntry, error) {
+	raw, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	lines := bytes.Split(raw, []byte("\n"))
+	// Find the last non-empty line: only that one may legitimately be torn.
+	last := -1
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) > 0 {
+			last = i
+		}
+	}
 	var entries []journalEntry
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		if len(sc.Bytes()) == 0 {
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
 		var e journalEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("serve: corrupt journal %s: %w", filepath.Base(path), err)
+		if err := json.Unmarshal(line, &e); err != nil {
+			if i == last {
+				warn("serve: journal %s: skipping torn final record (%d bytes): %v",
+					filepath.Base(path), len(line), err)
+				break
+			}
+			return nil, fmt.Errorf("serve: corrupt journal %s: record %d: %w", filepath.Base(path), i+1, err)
 		}
 		entries = append(entries, e)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 	if err := os.Remove(path); err != nil {
 		return nil, err

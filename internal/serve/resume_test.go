@@ -1,0 +1,138 @@
+// Mid-stream death and resume: a client following a job's SSE stream loses
+// the node mid-run; the journal-replayed job on the replacement node re-runs
+// deterministically under its original id, so resuming the stream with
+// ?after=<cursor> yields exactly the events the broken stream never
+// delivered — the same progress windows, none duplicated, none lost.
+package serve_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"reactivenoc/internal/serve"
+)
+
+func TestClientResumesSSEAcrossNodeDeath(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "rcserved.journal")
+	ctx := context.Background()
+
+	// Node A: one worker, journaled. The spec samples often and runs long
+	// enough that the stream reliably breaks mid-run.
+	s1, err := serve.New(serve.Config{Workers: 1, Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	hs1 := httptest.NewServer(s1.Handler())
+	cl1 := serve.NewClient(hs1.URL)
+
+	spec := quickSpec(t, "Complete_NoAck", 5)
+	spec.MeasureOps = 20000
+	spec.SampleEvery = 256
+
+	st, err := cl1.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Follow the stream; after three windows, sever every connection —
+	// from the client's side this is indistinguishable from the node
+	// dying under it.
+	var prefix []serve.Event
+	windows := 0
+	cursor, err := cl1.Follow(ctx, st.ID, 0, func(ev serve.Event) error {
+		prefix = append(prefix, ev)
+		if ev.Type == "window" {
+			if windows++; windows == 3 {
+				hs1.CloseClientConnections()
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("stream survived the node death (job finished before the kill?)")
+	}
+	if cursor != len(prefix) {
+		t.Fatalf("cursor %d does not match %d delivered events", cursor, len(prefix))
+	}
+	if windows < 3 {
+		t.Fatalf("stream broke after only %d windows", windows)
+	}
+
+	// The node dies mid-run: an already-expired grace period cancels the
+	// in-flight job straight to the journal.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s1.Shutdown(expired); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	hs1.Close()
+
+	// Replacement node replays the journal under the original job id.
+	s2, err := serve.New(serve.Config{Workers: 1, Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	hs2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer scancel()
+		if err := s2.Shutdown(sctx); err != nil {
+			t.Errorf("replacement shutdown: %v", err)
+		}
+		hs2.Close()
+	})
+	cl2 := serve.NewClient(hs2.URL)
+
+	// Resume from the cursor: only the tail arrives.
+	var suffix []serve.Event
+	wctx, wcancel := context.WithTimeout(ctx, 30*time.Second)
+	defer wcancel()
+	end, err := cl2.Follow(wctx, st.ID, cursor, func(ev serve.Event) error {
+		suffix = append(suffix, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("resumed stream: %v", err)
+	}
+	if len(suffix) == 0 || suffix[0].Seq != cursor {
+		t.Fatalf("resume did not pick up at cursor %d: %+v", cursor, suffix[:min(3, len(suffix))])
+	}
+	if last := suffix[len(suffix)-1]; last.Type != "done" {
+		t.Fatalf("resumed stream ended with %q, want done", last.Type)
+	}
+
+	// The stitched stream must be byte-for-byte the replacement node's own
+	// full history: consecutive seqs, every window exactly once, and —
+	// because the replay re-ran the same deterministic spec — identical
+	// window contents across the two nodes.
+	full := []serve.Event{}
+	if _, err := cl2.Follow(ctx, st.ID, 0, func(ev serve.Event) error {
+		full = append(full, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("full replay stream: %v", err)
+	}
+	combined := append(append([]serve.Event{}, prefix...), suffix...)
+	if len(combined) != len(full) || end != len(full) {
+		t.Fatalf("stitched stream has %d events (cursor end %d), replacement history has %d",
+			len(combined), end, len(full))
+	}
+	for i := range combined {
+		got, want := combined[i], full[i]
+		if got.Seq != i || want.Seq != i {
+			t.Fatalf("event %d: seq %d/%d, want dense from 0", i, got.Seq, want.Seq)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("event %d: type %q vs %q", i, got.Type, want.Type)
+		}
+		if got.Type == "window" && !reflect.DeepEqual(got.Window.Vals, want.Window.Vals) {
+			t.Fatalf("window %d diverged between the dead node's stream and the replay", i)
+		}
+	}
+}

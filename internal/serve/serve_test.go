@@ -1,8 +1,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -148,7 +154,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	if err := writeJournal(path, in); err != nil {
 		t.Fatal(err)
 	}
-	out, err := readJournal(path)
+	out, err := readJournal(path, t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +165,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatal("spec fingerprint changed across the journal")
 	}
 	// Consumed: a second read is empty.
-	again, err := readJournal(path)
+	again, err := readJournal(path, t.Logf)
 	if err != nil || len(again) != 0 {
 		t.Fatalf("journal not consumed: %v, %v", again, err)
 	}
@@ -170,8 +176,144 @@ func TestJournalRoundTrip(t *testing.T) {
 	if err := writeJournal(path, nil); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := readJournal(path); got != nil {
+	if got, _ := readJournal(path, t.Logf); got != nil {
 		t.Fatalf("empty journal write should remove the file, read %v", got)
+	}
+}
+
+// TestJournalTornFinalRecord: a crash mid-append leaves a truncated last
+// line; replay must skip exactly that record with a warning and keep every
+// intact one — losing the whole backlog to one torn write would turn a
+// crash into a data loss.
+func TestJournalTornFinalRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.journal")
+	in := []journalEntry{
+		{ID: "j-1", Spec: smallSpec(1)},
+		{ID: "j-2", Spec: smallSpec(2)},
+		{ID: "j-3", Spec: smallSpec(3)},
+	}
+	if err := writeJournal(path, in); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: chop the file mid-way through the last line.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := raw[:len(raw)-1] // drop trailing newline
+	cut := bytes.LastIndexByte(body, '\n') + 1 + 10
+	if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warned []string
+	warn := func(format string, args ...any) { warned = append(warned, fmt.Sprintf(format, args...)) }
+	out, err := readJournal(path, warn)
+	if err != nil {
+		t.Fatalf("torn final record aborted replay: %v", err)
+	}
+	if len(out) != 2 || out[0].ID != "j-1" || out[1].ID != "j-2" {
+		t.Fatalf("intact records lost: %+v", out)
+	}
+	if len(warned) != 1 || !strings.Contains(warned[0], "torn final record") {
+		t.Fatalf("torn record skipped without a warning: %v", warned)
+	}
+
+	// A server built over a torn journal replays the intact backlog.
+	if err := writeJournal(path, in); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Workers: 1, Journal: path, Logf: warn})
+	if got := s.Metrics().Value("serve/journal_replayed"); got != 2 {
+		t.Fatalf("serve/journal_replayed = %d, want 2", got)
+	}
+
+	// Corruption that is NOT the final record is unexplainable by a torn
+	// append and must abort.
+	if err := writeJournal(path, in); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = os.ReadFile(path)
+	lines := bytes.SplitN(raw, []byte("\n"), 2)
+	garbled := append(append([]byte(`{"id": garbage`), '\n'), lines[1]...)
+	if err := os.WriteFile(path, garbled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readJournal(path, warn); err == nil {
+		t.Fatal("corrupt interior record did not abort replay")
+	}
+}
+
+// TestBackpressureWaitJitterAndBounds: backpressure sleeps grow
+// exponentially from the server's hint, stay inside [w/2, 3w/2), cap at
+// the bound, and actually jitter — identical waits across workers would
+// recreate the lockstep stampede the jitter exists to break.
+func TestBackpressureWaitJitterAndBounds(t *testing.T) {
+	grown := func(attempt int) time.Duration {
+		w := time.Second
+		for i := 1; i < attempt && w < backpressureMaxWait; i++ {
+			w *= 2
+		}
+		if w > backpressureMaxWait {
+			w = backpressureMaxWait
+		}
+		return w
+	}
+	distinct := map[time.Duration]bool{}
+	for attempt := 1; attempt <= 8; attempt++ {
+		g := grown(attempt)
+		for i := 0; i < 64; i++ {
+			w := backpressureWait(time.Second, attempt)
+			if w < g/2 || w >= g/2+g {
+				t.Fatalf("attempt %d: wait %v outside [%v, %v)", attempt, w, g/2, g/2+g)
+			}
+			if attempt == 1 {
+				distinct[w] = true
+			}
+		}
+	}
+	if len(distinct) < 2 {
+		t.Fatal("backpressure waits do not jitter")
+	}
+	// A zero/absent hint falls back to one second, never a zero sleep.
+	if w := backpressureWait(0, 1); w < 500*time.Millisecond {
+		t.Fatalf("zero hint produced %v", w)
+	}
+}
+
+// TestRunBackpressureCappedByDeadline: a Run against a saturated server
+// whose context deadline cannot fit the next backpressure sleep fails
+// promptly with the backpressure error instead of sleeping through the
+// caller's remaining budget.
+func TestRunBackpressureCappedByDeadline(t *testing.T) {
+	// Full queue and no workers: every submission answers 429.
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	if _, err := s.Submit(smallSpec(31)); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	cl := NewClient(hs.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.Run(ctx, smallSpec(32))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Run succeeded against a saturated server")
+	}
+	if _, ok := IsBackpressure(errors.Unwrap(err)); !ok {
+		t.Fatalf("error does not wrap the backpressure cause: %v", err)
+	}
+	// The server's hint is 1s; the deadline is 250ms. Run must give up as
+	// soon as it sees the sleep cannot fit — well before the hint.
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("Run slept %v past a %v deadline", elapsed, 250*time.Millisecond)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"strconv"
 	"strings"
 	"sync"
@@ -34,6 +35,9 @@ type Config struct {
 	// Journal, when non-empty, is where shutdown drains jobs that never
 	// produced a result, and where New looks for jobs to replay.
 	Journal string
+	// Logf sinks the server's warnings — torn journal records, replay
+	// anomalies (nil: log.Printf).
+	Logf func(format string, args ...any)
 }
 
 // Sentinel admission errors, mapped to HTTP statuses by the handlers.
@@ -92,6 +96,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 256
 	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
 	s := &Server{
 		cfg:     cfg,
 		workers: exp.WorkersOr(cfg.Workers),
@@ -103,7 +110,7 @@ func New(cfg Config) (*Server, error) {
 	s.runCtx, s.cancelRuns = context.WithCancel(context.Background())
 
 	if cfg.Journal != "" {
-		entries, err := readJournal(cfg.Journal)
+		entries, err := readJournal(cfg.Journal, cfg.Logf)
 		if err != nil {
 			return nil, err
 		}
@@ -248,6 +255,11 @@ func (s *Server) register(j *job) {
 	s.jobs[j.id] = j
 	s.jobsMu.Unlock()
 }
+
+// CachedFingerprints lists every fingerprint in the result cache, sorted.
+// This is the cluster-consistency probe: the chaos suites union it across
+// nodes to assert the fleet holds exactly one copy of each result.
+func (s *Server) CachedFingerprints() []string { return s.cache.fingerprints() }
 
 // Job returns a tracked job by id.
 func (s *Server) Job(id string) (*job, bool) {
