@@ -25,7 +25,10 @@ import (
 func main() {
 	chipSize := flag.Int("chip", 16, "chip size: 16 or 64 cores")
 	variantName := flag.String("variant", "Complete_NoAck",
-		"mechanism variant: "+strings.Join(config.Names(), ", "))
+		"mechanism variant: "+strings.Join(config.RegisteredNames(), ", "))
+	policyName := flag.String("policy", "",
+		"run the named switching policy's representative variant instead of -variant (see -list-policies)")
+	listPolicies := flag.Bool("list-policies", false, "list every registered switching policy and exit")
 	workloadName := flag.String("workload", "micro",
 		"workload: micro, mix, or a parallel app ("+strings.Join(workload.Names(), ", ")+")")
 	ops := flag.Int64("ops", 12000, "measured operations per core")
@@ -43,6 +46,11 @@ func main() {
 	profiles := prof.Flags("exectrace")
 	flag.Parse()
 
+	if *listPolicies {
+		printPolicies()
+		return
+	}
+
 	var c config.Chip
 	switch *chipSize {
 	case 16:
@@ -54,7 +62,12 @@ func main() {
 	}
 	v, ok := config.ByName(*variantName)
 	if !ok {
-		fatal("unknown variant %q (have: %s)", *variantName, strings.Join(config.Names(), ", "))
+		fatal("unknown variant %q (have: %s)", *variantName, strings.Join(config.RegisteredNames(), ", "))
+	}
+	if *policyName != "" {
+		if v, ok = config.VariantForPolicy(*policyName); !ok {
+			fatal("unknown policy %q (have: %s)", *policyName, strings.Join(config.PolicyNames(), ", "))
+		}
 	}
 	var w workload.Profile
 	if *workloadName == "micro" {
@@ -101,6 +114,23 @@ func main() {
 	}
 	if err := profiles.Stop(); err != nil {
 		fatal("%v", err)
+	}
+}
+
+// printPolicies lists every registered switching policy with its
+// representative variant and the sweep columns that exercise it.
+func printPolicies() {
+	for _, name := range config.PolicyNames() {
+		rep := "(no registered variant)"
+		if v, ok := config.VariantForPolicy(name); ok {
+			rep = v.Name
+		}
+		var cols []string
+		for _, v := range config.VariantsForPolicy(name) {
+			cols = append(cols, v.Name)
+		}
+		fmt.Printf("%-16s representative %-18s sweep columns: %s\n",
+			name, rep, strings.Join(cols, ", "))
 	}
 }
 

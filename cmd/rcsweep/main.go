@@ -41,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"reactivenoc/internal/cluster"
@@ -67,10 +68,35 @@ func run() int {
 	failFast := flag.Bool("failfast", false, "stop scheduling new runs after the first failure")
 	remote := flag.String("remote", "", "base URL of a running rcserved; sweep cells are submitted there instead of simulated locally")
 	verifyRuns := flag.Bool("verify", false, "arm the online invariant oracles on every run of the sweep")
+	policyName := flag.String("policy", "", "restrict the sweep columns to the named switching policy's variants (see -list-policies)")
+	listPolicies := flag.Bool("list-policies", false, "list every registered switching policy and exit")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text tables")
 	mdOut := flag.Bool("md", false, "emit the full evaluation as a markdown report (implies -exp all)")
 	profiles := prof.Flags("trace")
 	flag.Parse()
+
+	if *listPolicies {
+		for _, name := range config.PolicyNames() {
+			var cols []string
+			for _, v := range config.VariantsForPolicy(name) {
+				cols = append(cols, v.Name)
+			}
+			fmt.Printf("%-16s sweep columns: %s\n", name, strings.Join(cols, ", "))
+		}
+		return 0
+	}
+
+	// The sweep's columns: the paper's variants plus the policy-lab
+	// presets, or just the named policy's columns with -policy.
+	sweepVariants := config.SweepVariants()
+	if *policyName != "" {
+		sweepVariants = config.VariantsForPolicy(*policyName)
+		if len(sweepVariants) == 0 {
+			fmt.Fprintf(os.Stderr, "rcsweep: policy %q has no sweep columns (registered: %s)\n",
+				*policyName, strings.Join(config.PolicyNames(), ", "))
+			return 1
+		}
+	}
 
 	if err := profiles.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "rcsweep: %v\n", err)
@@ -120,8 +146,8 @@ func run() int {
 	}
 
 	if *mdOut {
-		s16 := exp.RunSweepCtx(ctx, config.Chip16(), config.Variants(), scale, pol)
-		s64 := exp.RunSweepCtx(ctx, config.Chip64(), config.Variants(), scale, pol)
+		s16 := exp.RunSweepCtx(ctx, config.Chip16(), sweepVariants, scale, pol)
+		s64 := exp.RunSweepCtx(ctx, config.Chip64(), sweepVariants, scale, pol)
 		fmt.Print(exp.Markdown(s16, s64))
 		note(s16.FailureSummary())
 		note(s64.FailureSummary())
@@ -235,9 +261,9 @@ func run() int {
 		t0 := time.Now()
 		if !*jsonOut {
 			fmt.Printf("==== %s chip (%d runs x %d ops/core) ====\n",
-				c.Name, len(config.Variants())*len(scale.Workloads()), scale.MeasureOps)
+				c.Name, len(sweepVariants)*len(scale.Workloads()), scale.MeasureOps)
 		}
-		sweep := exp.RunSweepCtx(ctx, c, config.Variants(), scale, pol)
+		sweep := exp.RunSweepCtx(ctx, c, sweepVariants, scale, pol)
 		if !*jsonOut {
 			fmt.Printf("sweep finished in %v\n\n", time.Since(t0).Round(time.Millisecond))
 		}

@@ -44,6 +44,7 @@ func run() int {
 	n := flag.Int("n", 50, "number of random differential seeds to run")
 	seed := flag.Uint64("seed", 1, "first differential seed")
 	faults := flag.Bool("faults", true, "run the fault-detection matrix first")
+	policies := flag.Bool("policies", true, "run the per-policy differential gauntlet (every registered switching policy)")
 	remote := flag.String("remote", "", "base URL of a running rcserved to add as a differential leg")
 	corpus := flag.String("corpus", "", "directory to write failing seeds to as go-fuzz corpus entries")
 	verbose := flag.Bool("v", false, "print every seed as it runs")
@@ -57,6 +58,12 @@ func run() int {
 
 	if *faults {
 		if !runFaultMatrix() {
+			return 1
+		}
+	}
+
+	if *policies {
+		if !runPolicyGauntlet(ctx, remoteRun) {
 			return 1
 		}
 	}
@@ -97,6 +104,38 @@ func run() int {
 	fmt.Printf("differential: %d seeds passed in %v (zero divergences, zero oracle violations)\n",
 		*n, time.Since(t0).Round(time.Millisecond))
 	return 0
+}
+
+// runPolicyGauntlet runs every registered switching policy's
+// representative variant through the differential matrix with the oracles
+// armed at a tight cadence — the same conformance bar the test suite
+// applies, but through the rcverify reporting path (and, with -remote,
+// with the remote leg attached).
+func runPolicyGauntlet(ctx context.Context, remoteRun differ.RunFunc) bool {
+	names := config.PolicyNames()
+	fmt.Printf("policy gauntlet: %d registered policies through the differential matrix\n", len(names))
+	ok := true
+	for _, name := range names {
+		v, found := config.VariantForPolicy(name)
+		if !found {
+			fmt.Fprintf(os.Stderr, "  %-16s NO VARIANT: no registered preset exercises this policy\n", name)
+			ok = false
+			continue
+		}
+		spec := chip.DefaultSpec(config.Chip16(), v, workload.Micro())
+		spec.WarmupOps, spec.MeasureOps = 500, 4000
+		spec.Audit, spec.Verify, spec.VerifyEvery = true, true, 8
+		if err := differ.RunDifferential(ctx, spec, remoteRun); err != nil {
+			fmt.Fprintf(os.Stderr, "  %-16s FAILED (variant %s): %v\n", name, v.Name, err)
+			if re := chip.AsRunError(err); re != nil && re.Oracle != "" {
+				fmt.Fprintf(os.Stderr, "  %-16s oracle %q fired\n", name, re.Oracle)
+			}
+			ok = false
+			continue
+		}
+		fmt.Printf("  %-16s ok (variant %s)\n", name, v.Name)
+	}
+	return ok
 }
 
 // faultScenario arms one corruption class in the spec shape the chaos suite

@@ -126,3 +126,83 @@ func TestFingerprintCoversEveryField(t *testing.T) {
 		}
 	}
 }
+
+// prePolicyFingerprints pins the fingerprint of every pre-existing variant
+// (the paper's inventory plus the related-work comparators) to the value it
+// had before the switching-policy refactor, all under
+// DefaultSpec(Chip16, v, Micro). The refactor added Options knobs; their
+// omitempty JSON tags must keep every old encoding — and therefore every
+// cached result — byte-identical.
+var prePolicyFingerprints = map[string]string{
+	"Baseline":           "spec-b154dcfc590eabec22d8aae0e2c2abbd",
+	"Fragmented":         "spec-d4cecc44b69fa5bfa99641c265f2e7f5",
+	"Complete":           "spec-badaf5d66f3dd63d948aec9318bc8a47",
+	"Complete_NoAck":     "spec-da4735e809b6bceb3df68423e37e5561",
+	"Reuse_NoAck":        "spec-5442271bc48fb0d6217740ed61cf8116",
+	"Timed_NoAck":        "spec-3ca5fc5be14a24ad0a96c7e907ef28af",
+	"Slack_1_NoAck":      "spec-db85d35b48a22d3c1e24d0a9a2c39b14",
+	"Slack_2_NoAck":      "spec-4c8cd3d83341a77b4a6f1ed7074b3c28",
+	"Slack_4_NoAck":      "spec-2792917b236cae93d443d2b7e0abb920",
+	"SlackDelay_1_NoAck": "spec-77ba827cd27e6c5a065449080f6c08fe",
+	"Postponed_1_NoAck":  "spec-d81fae2cfb7f82d022683246c2addce9",
+	"Ideal":              "spec-34a5fdf7b3d14aab3a9125549f13b8a5",
+	"Speculative":        "spec-559344353dfbe661418dfea01406414f",
+	"Probe_DejaVu":       "spec-b96b17336729a9a29a3d2d944d6ece59",
+}
+
+// TestFingerprintsPinnedAcrossPolicyRefactor asserts every pre-refactor
+// variant still fingerprints to its captured value: result caches survive
+// the policy seam unchanged.
+func TestFingerprintsPinnedAcrossPolicyRefactor(t *testing.T) {
+	for name, want := range prePolicyFingerprints {
+		v, ok := config.ByName(name)
+		if !ok {
+			t.Errorf("variant %s no longer registered", name)
+			continue
+		}
+		spec := DefaultSpec(config.Chip16(), v, workload.Micro())
+		if got := spec.Fingerprint(); got != want {
+			t.Errorf("variant %s: fingerprint %s, want pinned %s (cached results invalidated)", name, got, want)
+		}
+	}
+}
+
+// TestPolicyVariantFingerprintsDistinct: the policy-lab variants and each
+// of their tuning knobs land in distinct cache slots — never colliding with
+// a pinned legacy fingerprint or with each other.
+func TestPolicyVariantFingerprintsDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for name, fp := range prePolicyFingerprints {
+		seen[fp] = name
+	}
+	note := func(label, fp string) {
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s fingerprints identically to %s (%s)", label, prev, fp)
+		}
+		seen[fp] = label
+	}
+	for _, v := range config.PolicyVariants() {
+		base := DefaultSpec(config.Chip16(), v, workload.Micro())
+		note(v.Name, base.Fingerprint())
+
+		// Every policy knob must perturb the fingerprint: a swept tuning
+		// value that hashed like the default would silently reuse the
+		// default's cached results.
+		knobs := map[string]func(*Spec){
+			"Policy":              func(s *Spec) { s.Variant.Opts.Policy += "x" },
+			"ProfileWindow":       func(s *Spec) { s.Variant.Opts.ProfileWindow++ },
+			"ProfileThresholdPct": func(s *Spec) { s.Variant.Opts.ProfileThresholdPct++ },
+			"ProfileBackoff":      func(s *Spec) { s.Variant.Opts.ProfileBackoff++ },
+			"DynVCMin":            func(s *Spec) { s.Variant.Opts.DynVCMin++ },
+			"DynVCMax":            func(s *Spec) { s.Variant.Opts.DynVCMax++ },
+			"DynVCWindow":         func(s *Spec) { s.Variant.Opts.DynVCWindow++ },
+		}
+		for knob, mut := range knobs {
+			spec := DefaultSpec(config.Chip16(), v, workload.Micro())
+			mut(&spec)
+			if spec.Fingerprint() == base.Fingerprint() {
+				t.Errorf("%s: mutating %s did not change the fingerprint", v.Name, knob)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ package config
 
 import (
 	"fmt"
+	"sync"
 
 	"reactivenoc/internal/core"
 )
@@ -67,14 +68,110 @@ func Variants() []Variant {
 	}
 }
 
-// ByName returns the named variant.
+// PolicyVariants returns the post-paper switching-policy presets from the
+// related work, built on the first-class policy seam (core.Policy): the
+// profiled hybrid of "Energy-Efficient On-Chip Networks through Profiled
+// Hybrid Switching" and the load-adaptive VC partitioning of Onsori &
+// Safaei. They ride every sweep as comparable columns next to the paper's
+// variants (SweepVariants) but stay out of Variants(), which remains the
+// paper's exact inventory.
+func PolicyVariants() []Variant {
+	mk := func(name string, o core.Options) Variant {
+		if err := o.Validate(); err != nil {
+			panic(fmt.Sprintf("config: variant %s invalid: %v", name, err))
+		}
+		return Variant{Name: name, Opts: o}
+	}
+	return []Variant{
+		mk("ProfiledHybrid", core.Options{
+			Mechanism:          core.MechComplete,
+			MaxCircuitsPerPort: 5,
+			NoAck:              true,
+			Policy:             "profiled-hybrid",
+		}),
+		mk("DynamicVC", core.Options{
+			Mechanism:          core.MechFragmented,
+			MaxCircuitsPerPort: 3,
+			Policy:             "dynamic-vc",
+		}),
+	}
+}
+
+// SweepVariants returns every comparable sweep column: the paper's
+// variants followed by the policy-lab variants.
+func SweepVariants() []Variant {
+	return append(Variants(), PolicyVariants()...)
+}
+
+// The variant registry is built once: every preset from Variants,
+// PolicyVariants and Comparators, keyed by name (first registration wins
+// for the duplicated entries).
+var (
+	regOnce  sync.Once
+	regMap   map[string]Variant
+	regOrder []string
+)
+
+func registry() map[string]Variant {
+	regOnce.Do(func() {
+		regMap = map[string]Variant{}
+		all := append(append(Variants(), PolicyVariants()...), Comparators()...)
+		for _, v := range all {
+			if _, dup := regMap[v.Name]; dup {
+				continue
+			}
+			regMap[v.Name] = v
+			regOrder = append(regOrder, v.Name)
+		}
+	})
+	return regMap
+}
+
+// ByName returns the named variant from the once-built registry (paper
+// variants, policy-lab variants and comparators alike).
 func ByName(name string) (Variant, bool) {
-	for _, v := range Variants() {
-		if v.Name == name {
+	v, ok := registry()[name]
+	return v, ok
+}
+
+// RegisteredNames lists every registry entry in registration order:
+// Variants, then PolicyVariants, then the comparators not already listed.
+func RegisteredNames() []string {
+	registry()
+	return append([]string(nil), regOrder...)
+}
+
+// PolicyNames lists every switching policy registered in core, in
+// registration order.
+func PolicyNames() []string { return core.PolicyNames() }
+
+// VariantForPolicy returns the first registered variant whose options
+// resolve to the named switching policy — the representative preset the
+// conformance suite runs for each policy. ok is false when no registered
+// variant exercises the policy, which is exactly what the conformance
+// suite fails on: a policy without a runnable preset cannot be gauntleted.
+func VariantForPolicy(policy string) (Variant, bool) {
+	registry()
+	for _, name := range regOrder {
+		v := regMap[name]
+		if pol, err := core.PolicyFor(v.Opts); err == nil && pol.Name() == policy {
 			return v, true
 		}
 	}
 	return Variant{}, false
+}
+
+// VariantsForPolicy returns every sweep column whose options resolve to
+// the named switching policy, in sweep order — what `rcsweep -policy`
+// restricts a sweep to.
+func VariantsForPolicy(policy string) []Variant {
+	var out []Variant
+	for _, v := range SweepVariants() {
+		if pol, err := core.PolicyFor(v.Opts); err == nil && pol.Name() == policy {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // Names lists every variant name.
@@ -92,12 +189,23 @@ func Names() []string {
 // router (references [16-19]) and probe-based setup at reply time
 // (Déjà-Vu switching, reference [7]).
 func Comparators() []Variant {
+	// This runs inside the registry build, so it must not call ByName
+	// (re-entering the sync.Once would deadlock): look the two paper
+	// variants up with a plain scan instead.
+	fromPaper := func(name string) Variant {
+		for _, v := range Variants() {
+			if v.Name == name {
+				return v
+			}
+		}
+		panic("config: missing paper variant " + name)
+	}
 	return []Variant{
 		{Name: "Baseline", Opts: core.Options{}},
 		{Name: "Speculative", Opts: core.Options{SpeculativeRouter: true}},
 		{Name: "Probe_DejaVu", Opts: core.Options{Mechanism: core.MechProbe, MaxCircuitsPerPort: 5}},
-		func() Variant { v, _ := ByName("Complete_NoAck"); return v }(),
-		func() Variant { v, _ := ByName("SlackDelay_1_NoAck"); return v }(),
+		fromPaper("Complete_NoAck"),
+		fromPaper("SlackDelay_1_NoAck"),
 	}
 }
 

@@ -102,64 +102,43 @@ type Options struct {
 	// cross an uncontended router in a single cycle. Only valid with
 	// MechNone — it is an alternative design, not an addition.
 	SpeculativeRouter bool
+
+	// Policy selects a registered switching policy by name (see
+	// RegisterPolicy); empty picks the Mechanism's default
+	// implementation, so every pre-policy Options encodes — and
+	// fingerprints — exactly as before. The omitempty tags below keep
+	// that true for the new knobs too.
+	Policy string `json:",omitempty"`
+
+	// ProfileWindow, ProfileThresholdPct and ProfileBackoff tune the
+	// profiled-hybrid policy: a flow is profiled over ProfileWindow
+	// replies and demoted to packet switching when fewer than
+	// ProfileThresholdPct percent of them rode a circuit; a demoted flow
+	// re-enters profiling after ProfileBackoff packet requests. Zero
+	// means the policy's default (32 / 50 / 128).
+	ProfileWindow       int `json:",omitempty"`
+	ProfileThresholdPct int `json:",omitempty"`
+	ProfileBackoff      int `json:",omitempty"`
+
+	// DynVCMin, DynVCMax and DynVCWindow tune the dynamic-vc policy:
+	// each router's usable reserved-VC partition floats between DynVCMin
+	// and DynVCMax (the hardware provisions DynVCMax), adapting once per
+	// DynVCWindow reservation attempts. Zero means the policy's default
+	// (1 / 3 / 16).
+	DynVCMin    int `json:",omitempty"`
+	DynVCMax    int `json:",omitempty"`
+	DynVCWindow int `json:",omitempty"`
 }
 
-// Validate rejects inconsistent option combinations.
+// Validate rejects inconsistent option combinations by resolving the
+// selected switching policy and asking it; each policy owns its own rules
+// (see the policy_*.go files).
 func (o *Options) Validate() error {
-	switch o.Mechanism {
-	case MechNone:
-		if o.NoAck || o.Reuse || o.Timed {
-			return fmt.Errorf("core: baseline cannot enable circuit features")
-		}
-		return nil
-	default:
-		if o.SpeculativeRouter {
-			return fmt.Errorf("core: speculative routers and circuits are alternative designs")
-		}
+	pol, err := PolicyFor(*o)
+	if err != nil {
+		return err
 	}
-	switch o.Mechanism {
-	case MechFragmented:
-		if o.Timed || o.Reuse {
-			return fmt.Errorf("core: fragmented circuits support neither timing nor reuse")
-		}
-		if o.NoAck {
-			return fmt.Errorf("core: fragmented circuits cannot guarantee delivery order for NoAck")
-		}
-		if o.MaxCircuitsPerPort <= 0 {
-			return fmt.Errorf("core: fragmented circuits need MaxCircuitsPerPort > 0")
-		}
-	case MechComplete:
-		if o.MaxCircuitsPerPort <= 0 {
-			return fmt.Errorf("core: complete circuits need MaxCircuitsPerPort > 0")
-		}
-	case MechIdeal:
-		if o.Timed || o.Reuse {
-			return fmt.Errorf("core: ideal reservation has no timing or reuse")
-		}
-	case MechProbe:
-		if o.Timed || o.Reuse || o.NoAck {
-			return fmt.Errorf("core: the probe comparator supports none of the paper's optimizations")
-		}
-		if o.MaxCircuitsPerPort <= 0 {
-			return fmt.Errorf("core: probe setup needs MaxCircuitsPerPort > 0")
-		}
-	default:
-		return fmt.Errorf("core: unknown mechanism %d", o.Mechanism)
-	}
-	if o.Timed {
-		if o.SlackPerHop < 0 || o.DelayPerHop < 0 || o.PostponePerHop < 0 {
-			return fmt.Errorf("core: negative timed parameters")
-		}
-		if o.DelayPerHop > 0 && o.SlackPerHop == 0 {
-			return fmt.Errorf("core: delayed reservations require slack (Section 4.7)")
-		}
-		if o.PostponePerHop > 0 && (o.SlackPerHop > 0 || o.DelayPerHop > 0) {
-			return fmt.Errorf("core: postponed circuits use exact windows, not slack/delay")
-		}
-	} else if o.SlackPerHop > 0 || o.DelayPerHop > 0 || o.PostponePerHop > 0 {
-		return fmt.Errorf("core: slack/delay/postpone require Timed")
-	}
-	return nil
+	return pol.Validate(o)
 }
 
 // Enabled reports whether any circuit machinery is active.

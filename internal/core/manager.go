@@ -73,12 +73,14 @@ type walk struct {
 	hasSched bool
 }
 
-// Manager implements the Reactive Circuits mechanism: it owns every
-// router's circuit table, every NI's circuit registry, and the statistics
-// of Section 5.2. It plugs into the network as both the router-side
-// CircuitHandler and the NI-side NIHook.
+// Manager owns the mechanism-independent circuit state: every router's
+// circuit table, every NI's circuit registry, the reservation walks and
+// the statistics of Section 5.2. It plugs into the network as both the
+// router-side CircuitHandler and the NI-side NIHook, and dispatches every
+// variant-specific decision through its resolved Policy (see policy.go).
 type Manager struct {
 	opts Options
+	pol  Policy
 	m    mesh.Mesh
 	net  *noc.Network
 
@@ -125,38 +127,23 @@ func NewManager(opts Options, m mesh.Mesh) *Manager {
 		mg.tables[i] = &table{}
 		mg.regs[i] = map[circKey]*record{}
 	}
+	mg.pol = mustPolicyFor(opts)
+	mg.pol.Attach(mg)
 	return mg
 }
 
-// NetConfigFor returns the network microarchitecture each mechanism needs:
-// the baseline Table 4 router, the fragmented variant's third buffered
-// reply VC, or the complete variants' unbuffered circuit VC. All circuit
-// variants route requests XY and replies YX so both traverse the same
-// routers.
+// Policy returns the switching policy this manager dispatches through.
+func (mg *Manager) Policy() Policy { return mg.pol }
+
+// NetConfigFor returns the network microarchitecture the selected policy
+// needs: the baseline Table 4 router, the fragmented variant's third
+// buffered reply VC, the complete variants' unbuffered circuit VC, or
+// whatever a registered policy asks for. Circuit policies route requests
+// XY and replies YX so both traverse the same routers.
 func NetConfigFor(m mesh.Mesh, opts Options) noc.NetConfig {
 	cfg := noc.BaselineConfig(m)
 	cfg.NoPool = opts.NoPool
-	switch opts.Mechanism {
-	case MechNone:
-		cfg.Speculative = opts.SpeculativeRouter
-		return cfg
-	case MechFragmented:
-		cfg.VCsPerVN[noc.VNReply] = 3
-		cfg.ReplyCircuitVCs = 2
-	case MechComplete:
-		cfg.ReplyCircuitVCs = 1
-		cfg.CircuitVCUnbuffered = true
-	case MechIdeal:
-		cfg.ReplyCircuitVCs = 1 // keeps its buffer: ideal is not area-reduced
-	case MechProbe:
-		// Probe setup keeps a buffered circuit VC and baseline routing
-		// (probe and reply travel the same direction); replies waiting
-		// for their setup must not serialize the interface.
-		cfg.ReplyCircuitVCs = 1
-		cfg.AllowQueueOvertake = true
-		return cfg
-	}
-	cfg.RepRouting = mesh.RouteYX
+	mustPolicyFor(opts).NetConfig(&cfg, &opts)
 	return cfg
 }
 
@@ -204,7 +191,8 @@ func (mg *Manager) freeWalk(w *walk) {
 
 // OnRequestVA reserves the reply's circuit at this router, in parallel with
 // the request's VC allocation. The reply will enter via port out (where the
-// request leaves) and exit via port in (where the request entered).
+// request leaves) and exit via port in (where the request entered). The
+// reservation itself is the policy's: the manager only tracks the walk.
 func (mg *Manager) OnRequestVA(id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, now sim.Cycle) {
 	w := mg.walks[msg]
 	if w == nil {
@@ -212,226 +200,7 @@ func (mg *Manager) OnRequestVA(id mesh.NodeID, msg *noc.Message, in, out mesh.Di
 		mg.walks[msg] = w
 	}
 	w.routers++
-	switch mg.opts.Mechanism {
-	case MechIdeal:
-		mg.reserveIdeal(id, msg, in, out, w, now)
-	case MechComplete:
-		mg.reserveComplete(id, msg, in, out, w, now)
-	case MechFragmented:
-		mg.reserveFragmented(id, msg, in, out, w, now)
-	case MechProbe:
-		if msg.SetupProbe {
-			mg.reserveProbe(id, msg, in, out, now)
-		}
-	}
-}
-
-// reserveProbe installs a *forward* circuit entry as a setup flit crosses
-// the router: the data reply behind it enters and leaves through the
-// probe's own ports. On a conflict or full storage the setup fails and the
-// already-built prefix is torn down with a backward credit walk.
-func (mg *Manager) reserveProbe(id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, now sim.Cycle) {
-	if msg.BuildFailed {
-		return
-	}
-	tb := mg.tables[id]
-	fail := func(counter *int64) {
-		msg.BuildFailed = true
-		*counter++
-		if in != mesh.Local {
-			tok := &noc.UndoToken{Dest: msg.Dst, Block: msg.Block}
-			mg.net.Router(id).SendUndoCredit(in, tok, now)
-		}
-	}
-	if tb.conflict(in, out, 0, noWindow, now) {
-		fail(&mg.Stats.ReserveFailedConflict)
-		return
-	}
-	e := entry{
-		built: true, dest: msg.Dst, block: msg.Block,
-		out: out, outVC: mg.circuitVC(), vc: mg.circuitVC(),
-		winStart: 0, winEnd: noWindow,
-	}
-	ins, ord := tb.insert(in, e, mg.opts.MaxCircuitsPerPort, now)
-	if ins == nil {
-		fail(&mg.Stats.ReserveFailedStorage)
-		return
-	}
-	mg.noteOrdinal(ord)
-	mg.net.Events().CircuitWrites++
-}
-
-func (mg *Manager) reserveIdeal(id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, w *walk, now sim.Cycle) {
-	e := entry{
-		built: true, dest: msg.Src, block: msg.Block,
-		out: in, outVC: mg.circuitVC(), vc: mg.circuitVC(),
-		winStart: 0, winEnd: noWindow,
-	}
-	_, ord := mg.tables[id].insert(out, e, 0, now)
-	mg.noteOrdinal(ord)
-	mg.net.Events().CircuitWrites++
-	w.lastReserved = true
-}
-
-func (mg *Manager) reserveComplete(id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, w *walk, now sim.Cycle) {
-	if msg.BuildFailed {
-		return // a failed all-or-nothing circuit reserves nothing further
-	}
-	tb := mg.tables[id]
-	cvc := mg.circuitVC()
-
-	winStart, winEnd := sim.Cycle(0), noWindow
-	injLo, injHi := w.injLo, w.injHi
-	if mg.opts.Timed {
-		var ok bool
-		winStart, winEnd, injLo, injHi, ok = mg.timedWindow(id, msg, out, in, w, now)
-		if !ok {
-			mg.failCircuit(id, msg, in, now, &mg.Stats.ReserveFailedConflict)
-			return
-		}
-	} else if tb.conflict(out, in, winStart, winEnd, now) {
-		mg.failCircuit(id, msg, in, now, &mg.Stats.ReserveFailedConflict)
-		return
-	}
-
-	outVC := cvc
-	e := entry{
-		built: true, dest: msg.Src, block: msg.Block,
-		out: in, outVC: outVC, vc: cvc,
-		winStart: winStart, winEnd: winEnd,
-	}
-	ins, ord := tb.insert(out, e, mg.opts.MaxCircuitsPerPort, now)
-	if ins == nil {
-		mg.failCircuit(id, msg, in, now, &mg.Stats.ReserveFailedStorage)
-		return
-	}
-	if mg.fault != nil {
-		if ins.timed() {
-			if end, ok := mg.fault.TruncateWindow(id, ins.winStart, ins.winEnd, now); ok {
-				ins.winEnd = end
-			}
-		}
-		if mg.fault.FlipBuiltBit(id, now) {
-			ins.built = false
-		}
-	}
-	mg.noteOrdinal(ord)
-	mg.net.Events().CircuitWrites++
-	w.injLo, w.injHi = injLo, injHi
-	w.lastReserved = true
-	if mg.tracer != nil {
-		note := fmt.Sprintf("in=%v out=%v", out, in)
-		if mg.opts.Timed {
-			note += fmt.Sprintf(" window=[%d,%d]", winStart, winEnd)
-		}
-		mg.tracer.Record(now, trace.Reserve, msg.ID, id, note)
-	}
-}
-
-// timedWindow computes this router's reservation window, applying the
-// variant's slack, delay search and postponement, and intersecting the
-// injection constraints accumulated along the path. inUnit is the input
-// unit holding the new entry (the request's output port) and outPort the
-// entry's output port (the request's input port).
-func (mg *Manager) timedWindow(id mesh.NodeID, msg *noc.Message, inUnit, outPort mesh.Dir, w *walk, now sim.Cycle) (s, e, lo, hi sim.Cycle, ok bool) {
-	h := sim.Cycle(mg.m.Hops(id, msg.Dst))
-	size := sim.Cycle(msg.ExpectedReplySize)
-	if size <= 0 {
-		size = 1
-	}
-	H := sim.Cycle(mg.pathHops(msg))
-	slackTot := sim.Cycle(mg.opts.SlackPerHop) * H
-	delayTot := sim.Cycle(mg.opts.DelayPerHop) * H
-	if delayTot > slackTot {
-		delayTot = slackTot // delays must stay inside downstream slack
-	}
-	postTot := sim.Cycle(mg.opts.PostponePerHop) * H
-
-	var base sim.Cycle
-	if mg.opts.PostponePerHop > 0 {
-		// Postponed circuits pin the reply's injection cycle at the
-		// first router; every later router reserves the exact slot that
-		// schedule implies, immune to request jitter.
-		if !w.hasSched {
-			head := now + (reqHopLatency+repHopLatency)*h + msg.ExpectedProcDelay +
-				estimateOverhead + sim.Cycle(msg.Size-1)
-			w.sched = head - repHopLatency*h - injectLead + postTot
-			w.hasSched = true
-		}
-		base = w.sched + injectLead + repHopLatency*h
-	} else {
-		base = now + (reqHopLatency+repHopLatency)*h + msg.ExpectedProcDelay +
-			estimateOverhead + sim.Cycle(msg.Size-1) + msg.AccumDelay
-	}
-
-	tb := mg.tables[id]
-	maxDelta := delayTot - msg.AccumDelay
-	if maxDelta < 0 {
-		maxDelta = 0
-	}
-	for delta := sim.Cycle(0); delta <= maxDelta; delta++ {
-		start := base + delta
-		end := start + size - 1 + slackTot
-		// Injection constraint from this router: the reply injected at
-		// cycle t sees this router at t + injectLead + repHopLatency*h,
-		// which must fall in [start, start+slackTot].
-		cLo := start - repHopLatency*h - injectLead
-		cHi := cLo + slackTot
-		nLo, nHi := maxCycle(w.injLo, cLo), minCycle(w.injHi, cHi)
-		if nLo <= nHi && !tb.conflict(inUnit, outPort, start, end, now) {
-			msg.AccumDelay += delta
-			return start, end, nLo, nHi, true
-		}
-		if mg.opts.DelayPerHop == 0 {
-			break // no delay search in the basic/slack-only variants
-		}
-	}
-	return 0, 0, 0, 0, false
-}
-
-func (mg *Manager) reserveFragmented(id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, w *walk, now sim.Cycle) {
-	tb := mg.tables[id]
-	cfg := mg.net.Config()
-	vc := tb.freeVC(out, cfg.CircuitVC(), cfg.ReplyCircuitVCs, now)
-	if vc < 0 {
-		// No reserved VC available: keep the partial path and retry at
-		// the next hop (Section 4.2, fragmented alternative).
-		mg.Stats.ReserveFailedStorage++
-		w.prevVC = -1
-		w.lastReserved = false
-		return
-	}
-	e := entry{
-		built: true, dest: msg.Src, block: msg.Block,
-		out: in, outVC: w.prevVC, vc: vc,
-		winStart: 0, winEnd: noWindow,
-	}
-	ins, ord := tb.insert(out, e, mg.opts.MaxCircuitsPerPort, now)
-	if ins == nil {
-		mg.Stats.ReserveFailedStorage++
-		w.prevVC = -1
-		w.lastReserved = false
-		return
-	}
-	mg.noteOrdinal(ord)
-	mg.net.Events().CircuitWrites++
-	msg.ReservedHops++
-	w.prevVC = vc
-	w.lastReserved = true
-}
-
-// failCircuit marks an all-or-nothing reservation failed and tears down the
-// prefix reserved so far. Non-timed prefixes are undone with credits
-// walking toward the circuit destination; timed prefixes self-expire when
-// their finish counters run out.
-func (mg *Manager) failCircuit(id mesh.NodeID, msg *noc.Message, in mesh.Dir, now sim.Cycle, counter *int64) {
-	msg.BuildFailed = true
-	*counter++
-	if mg.opts.Timed || in == mesh.Local {
-		return
-	}
-	tok := &noc.UndoToken{Dest: msg.Src, Block: msg.Block}
-	mg.net.Router(id).SendUndoCredit(in, tok, now)
+	mg.pol.Reserve(mg, id, msg, in, out, w, now)
 }
 
 func (mg *Manager) noteOrdinal(ord int) {
@@ -452,7 +221,7 @@ func (mg *Manager) Bypass(id mesh.NodeID, f *noc.Flit, in mesh.Dir, now sim.Cycl
 	}
 	e := mg.tables[id].find(in, msg.CircDest, msg.CircBlock, now)
 	if e == nil {
-		if mg.opts.Mechanism == MechFragmented {
+		if mg.pol.GapTolerant() {
 			return 0, 0, false // gap in a fragmented circuit: normal pipeline
 		}
 		panic(fmt.Sprintf("core: reply msg %d expected a circuit at router %d port %v (invariant violated)", msg.ID, id, in))
@@ -465,7 +234,7 @@ func (mg *Manager) Bypass(id mesh.NodeID, f *noc.Flit, in mesh.Dir, now sim.Cycl
 	} else if e.inUse != msg {
 		panic(fmt.Sprintf("core: body flit of msg %d on unclaimed circuit at router %d", msg.ID, id))
 	}
-	if mg.opts.Mechanism == MechFragmented && e.outVC < 0 && e.out != mesh.Local {
+	if mg.pol.GapTolerant() && e.outVC < 0 && e.out != mesh.Local {
 		// The next hop is not reserved: the flits re-enter the normal
 		// pipeline from this reserved VC's buffer; the entry frees when
 		// the tail has arrived.
@@ -500,42 +269,16 @@ func (mg *Manager) Release(id mesh.NodeID, f *noc.Flit, in mesh.Dir, now sim.Cyc
 // OnUndo clears the reservation named by the token at this router and
 // steers the walk onward: toward the circuit destination for the paper's
 // reversed entries, or backward toward the setup source for the probe
-// comparator's forward entries.
+// comparator's forward entries. The policy owns the walk's shape.
 func (mg *Manager) OnUndo(id mesh.NodeID, tok *noc.UndoToken, in mesh.Dir, now sim.Cycle) (mesh.Dir, bool) {
-	if mg.opts.Mechanism == MechProbe {
-		for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
-			if e := mg.tables[id].clear(d, tok.Dest, tok.Block, now); e != nil {
-				mg.net.Events().CircuitWrites++
-				return d, true // continue out of the entry's input side
-			}
-		}
-		return 0, false
-	}
-	if mg.opts.Mechanism == MechFragmented {
-		// Gap-tolerant walk: clear what exists and keep following the
-		// reply's deterministic YX path toward the destination.
-		if mg.tables[id].clear(in, tok.Dest, tok.Block, now) != nil {
-			mg.net.Events().CircuitWrites++
-		}
-		return mg.m.NextDir(mesh.RouteYX, id, tok.Dest), true
-	}
-	e := mg.tables[id].clear(in, tok.Dest, tok.Block, now)
-	if e == nil {
-		return 0, false
-	}
-	mg.net.Events().CircuitWrites++
-	return e.out, true
+	return mg.pol.Undo(mg, id, tok, in, now)
 }
 
 // BypassBuffered reports whether circuit flits may wait in buffers:
 // fragmented and ideal routers keep them; complete routers must never block
-// a circuit flit.
+// a circuit flit. The policy decides.
 func (mg *Manager) BypassBuffered() bool {
-	switch mg.opts.Mechanism {
-	case MechFragmented, MechIdeal, MechProbe:
-		return true
-	}
-	return false
+	return mg.pol.BypassBuffered()
 }
 
 // ---------------------------------------------------------------------------
@@ -543,25 +286,23 @@ func (mg *Manager) BypassBuffered() bool {
 // ---------------------------------------------------------------------------
 
 // OnInject classifies and steers a message about to leave its source NI.
-// For requests it is a no-op. For replies it decides: ride the circuit the
-// request built, wait for (or miss) a timed slot, scrounge a foreign
-// circuit, or travel as a normal packet.
+// For requests it is a no-op. For replies the policy decides: ride the
+// circuit the request built, wait for (or miss) a timed slot, scrounge a
+// foreign circuit, or travel as a normal packet.
 func (mg *Manager) OnInject(ni mesh.NodeID, msg *noc.Message, now sim.Cycle) sim.Cycle {
 	if msg.VN != noc.VNReply || msg.Scrounging {
 		return now
 	}
-	if mg.opts.Mechanism == MechProbe {
-		return mg.injectProbeMode(ni, msg, now)
-	}
-	key := circKey{dest: msg.Dst, block: msg.Block}
-	rec := mg.regs[ni][key]
-	if rec != nil {
-		return mg.injectOwn(ni, msg, rec, key, now)
-	}
+	return mg.pol.Inject(mg, ni, msg, now)
+}
+
+// injectFallback is the shared path for a reply with no circuit of its
+// own: try borrowing one (scrounger messages, when Reuse is on), then
+// classify by the coherence layer's hint.
+func (mg *Manager) injectFallback(ni mesh.NodeID, msg *noc.Message, now sim.Cycle) sim.Cycle {
 	if msg.Classified {
 		return now // a continuation leg already classified
 	}
-	// No circuit of its own: try borrowing one (scrounger messages).
 	if mg.opts.Reuse {
 		if r := mg.scroungeTarget(ni, msg); r != nil {
 			r.inUse = true
@@ -586,113 +327,6 @@ func (mg *Manager) OnInject(ni mesh.NodeID, msg *noc.Message, now sim.Cycle) sim
 		mg.classify(msg, Outcome(msg.OutcomeHint))
 	} else {
 		mg.classify(msg, OutcomeNotEligible)
-	}
-	return now
-}
-
-// injectProbeMode implements the probe-setup comparator's injection side:
-// an eligible reply launches a 1-flit setup flit and may only leave once
-// the setup has finished building the whole circuit (the classic
-// setup-delay schemes of the paper's references [12, 14]; completion is
-// learned instantly here, which is *optimistic* for the comparator). A
-// failed setup sends the reply through the normal pipeline. With a 7-cycle
-// L2 hit the setup traversal is never hidden — the paper's argument for
-// reserving with the request instead.
-func (mg *Manager) injectProbeMode(ni mesh.NodeID, msg *noc.Message, now sim.Cycle) sim.Cycle {
-	key := circKey{dest: msg.Dst, block: msg.Block}
-	rec := mg.regs[ni][key]
-	if msg.SetupProbe {
-		return now // probes leave immediately
-	}
-	if !msg.WantCircuit {
-		if !msg.Classified {
-			mg.classify(msg, OutcomeNotEligible)
-		}
-		return now
-	}
-	if rec == nil {
-		probe := mg.net.NewMessage()
-		probe.ID = mg.net.NextMsgID()
-		probe.Src, probe.Dst = ni, msg.Dst
-		probe.VN, probe.Size = noc.VNReply, 1
-		probe.Block = msg.Block
-		probe.WantCircuit = true
-		probe.SetupProbe = true
-		mg.net.NI(ni).SendFront(probe, now)
-		mg.Stats.ProbesSent++
-		mg.regs[ni][key] = &record{key: key, src: ni}
-		return now + 1
-	}
-	if !rec.probeUp {
-		return now + 1 // the setup is still traversing
-	}
-	delete(mg.regs[ni], key)
-	msg.WantCircuit = false
-	if rec.failed {
-		mg.classify(msg, OutcomeFailed)
-		return now
-	}
-	msg.UseCircuit = true
-	msg.CircDest = msg.Dst
-	msg.CircBlock = msg.Block
-	mg.Stats.CircuitsBuilt++
-	mg.classify(msg, OutcomeCircuit)
-	return now
-}
-
-// injectOwn handles a reply whose request reserved a circuit.
-func (mg *Manager) injectOwn(ni mesh.NodeID, msg *noc.Message, rec *record, key circKey, now sim.Cycle) sim.Cycle {
-	if rec.failed && mg.opts.Mechanism != MechFragmented {
-		delete(mg.regs[ni], key)
-		mg.classify(msg, OutcomeFailed)
-		return now
-	}
-	if rec.inUse {
-		return now + 1 // a scrounger is riding; wait for it to clear
-	}
-	if rec.timed {
-		if now > rec.injEnd {
-			// Missed the slot (cache delays, blocked lines): undo the
-			// circuit and use the normal pipeline (Section 4.7).
-			delete(mg.regs[ni], key)
-			mg.Stats.CircuitsUndone++
-			mg.classify(msg, OutcomeUndone)
-			if mg.tracer != nil {
-				mg.tracer.Record(now, trace.CircuitUndone, msg.ID, ni,
-					fmt.Sprintf("missed window [%d,%d]", rec.injStart, rec.injEnd))
-			}
-			return now
-		}
-		if now < rec.injStart {
-			mg.Stats.WaitedForWindow++
-			return rec.injStart
-		}
-	}
-	delete(mg.regs[ni], key)
-	if mg.opts.Mechanism == MechFragmented {
-		if rec.reserved == 0 {
-			mg.classify(msg, OutcomeFailed)
-			return now
-		}
-		msg.UseCircuit = true
-		msg.InjectVC = rec.injectVC
-		msg.CircDest = msg.Dst
-		msg.CircBlock = msg.Block
-		if rec.complete {
-			mg.classify(msg, OutcomeCircuit)
-		} else {
-			mg.classify(msg, OutcomeFailed) // partial path still rides its fragments
-		}
-		return now
-	}
-	msg.UseCircuit = true
-	msg.InjectVC = rec.injectVC
-	msg.CircDest = msg.Dst
-	msg.CircBlock = msg.Block
-	mg.classify(msg, OutcomeCircuit)
-	if mg.tracer != nil {
-		mg.tracer.Record(now, trace.CircuitRide, msg.ID, ni,
-			fmt.Sprintf("dest=%d block=%#x", msg.Dst, msg.Block))
 	}
 	return now
 }
@@ -728,25 +362,16 @@ func (mg *Manager) classify(msg *noc.Message, o Outcome) {
 	}
 	msg.Classified = true
 	mg.Stats.Replies[o]++
+	mg.pol.Observe(mg, msg, o)
 }
 
 // OnDeliver finalizes a request's circuit record at the NI where its reply
 // will start, and re-injects scrounger messages toward their destination.
+// The policy's Deliver hook runs first (the probe comparator consumes its
+// setup flits there).
 func (mg *Manager) OnDeliver(ni mesh.NodeID, msg *noc.Message, now sim.Cycle) bool {
-	if msg.SetupProbe {
-		mg.freeWalk(mg.walks[msg])
-		delete(mg.walks, msg)
-		// Tell the waiting reply (at the probe's source) how the setup
-		// went — instantaneous here, an optimistic short-cut for the
-		// comparator (a real design needs a confirmation message back).
-		if rec := mg.regs[msg.Src][circKey{dest: msg.Dst, block: msg.Block}]; rec != nil {
-			rec.probeUp = true
-			rec.failed = msg.BuildFailed
-			rec.complete = !msg.BuildFailed
-		}
-		// The probe dies here: it exists only to carry the walk.
-		mg.net.FreeMessage(msg)
-		return false
+	if handled, deliver := mg.pol.Deliver(mg, ni, msg, now); handled {
+		return deliver
 	}
 	if msg.VN == noc.VNRequest {
 		if msg.WantCircuit {
@@ -795,29 +420,7 @@ func (mg *Manager) recordCircuit(ni mesh.NodeID, msg *noc.Message) {
 	key := circKey{dest: msg.Src, block: msg.Block}
 	path := mg.pathHops(msg) + 1
 	rec := &record{key: key, path: path, src: ni}
-	switch mg.opts.Mechanism {
-	case MechIdeal, MechComplete:
-		rec.complete = !msg.BuildFailed
-		rec.failed = msg.BuildFailed
-		rec.injectVC = mg.circuitVC()
-		if rec.complete {
-			mg.Stats.CircuitsBuilt++
-		}
-		if mg.opts.Timed && rec.complete {
-			rec.timed = true
-			rec.injStart, rec.injEnd = w.injLo, w.injHi
-		}
-	case MechFragmented:
-		rec.reserved = msg.ReservedHops
-		rec.complete = msg.ReservedHops == path
-		rec.failed = !rec.complete
-		if rec.complete {
-			mg.Stats.CircuitsBuilt++
-		}
-		if w.lastReserved {
-			rec.injectVC = w.prevVC
-		}
-	}
+	mg.pol.Confirm(mg, ni, msg, rec, w)
 	mg.regs[ni][key] = rec
 	if mg.tracer != nil {
 		if rec.complete {
@@ -848,12 +451,8 @@ func (mg *Manager) Undo(ni mesh.NodeID, dest mesh.NodeID, block uint64, now sim.
 		return false
 	}
 	delete(mg.regs[ni], key)
-	if mg.opts.Mechanism == MechFragmented {
-		if rec.reserved == 0 {
-			return false
-		}
-	} else if rec.failed {
-		return false // a failed all-or-nothing build already tore down
+	if !mg.pol.UndoEligible(rec) {
+		return false // nothing built (or already torn down) to undo
 	}
 	mg.Stats.CircuitsUndone++
 	if mg.tracer != nil {
@@ -868,34 +467,9 @@ func (mg *Manager) Undo(ni mesh.NodeID, dest mesh.NodeID, block uint64, now sim.
 	return true
 }
 
-// teardown clears a built circuit's router entries.
+// teardown clears a built circuit's router entries (the policy's walk).
 func (mg *Manager) teardown(rec *record, now sim.Cycle) {
-	switch {
-	case mg.opts.Mechanism == MechIdeal:
-		// Upper-bound model: clear the whole path instantly.
-		mg.clearPath(rec.src, rec.key.dest, rec.key.block, now)
-	case mg.opts.Timed:
-		// Timed entries self-expire when their finish counters run out.
-	case mg.opts.Mechanism == MechFragmented:
-		// Fragmented circuits may have gaps: clear whatever is here and
-		// send the walk toward the destination regardless, so entries
-		// beyond a gap are still reclaimed.
-		if mg.tables[rec.src].clear(mesh.Local, rec.key.dest, rec.key.block, now) != nil {
-			mg.net.Events().CircuitWrites++
-		}
-		if fwd := mg.m.NextDir(mesh.RouteYX, rec.src, rec.key.dest); fwd != mesh.Local {
-			tok := &noc.UndoToken{Dest: rec.key.dest, Block: rec.key.block}
-			mg.net.Router(rec.src).SendUndoCredit(fwd, tok, now)
-		}
-	default:
-		if e := mg.tables[rec.src].clear(mesh.Local, rec.key.dest, rec.key.block, now); e != nil {
-			mg.net.Events().CircuitWrites++
-			if e.out != mesh.Local {
-				tok := &noc.UndoToken{Dest: rec.key.dest, Block: rec.key.block}
-				mg.net.Router(rec.src).SendUndoCredit(e.out, tok, now)
-			}
-		}
-	}
+	mg.pol.Teardown(mg, rec, now)
 }
 
 // clearPath removes every entry of a circuit along its YX path (ideal mode
@@ -986,4 +560,5 @@ func (mg *Manager) DescribeMetrics(reg *sim.Registry) {
 	reg.Counter("circ/reserve_failed_storage", &mg.Stats.ReserveFailedStorage)
 	reg.Counter("circ/reserve_failed_conflict", &mg.Stats.ReserveFailedConflict)
 	reg.Counter("circ/waited_for_window", &mg.Stats.WaitedForWindow)
+	mg.pol.DescribeMetrics(reg)
 }

@@ -687,7 +687,7 @@ func TestManagerAccessors(t *testing.T) {
 		t.Fatal("complete circuits are bufferless")
 	}
 	for _, m := range []Mechanism{MechFragmented, MechIdeal, MechProbe} {
-		mg := &Manager{opts: Options{Mechanism: m}}
+		mg := &Manager{opts: Options{Mechanism: m}, pol: mustPolicyFor(Options{Mechanism: m})}
 		if !mg.BypassBuffered() {
 			t.Errorf("%v should buffer bypass flits", m)
 		}

@@ -13,12 +13,12 @@ import (
 
 // CheckTables verifies the legality of every router's circuit table:
 // no input port holds more than MaxCircuitsPerPort live reservations, and
-// — for complete circuits, where the construction rule forbids it — no two
-// reservations from different input ports share an output port with
-// overlapping time windows (untimed entries hold their port for an
+// — for policies obeying the complete construction rule, which forbids it
+// — no two reservations from different input ports share an output port
+// with overlapping time windows (untimed entries hold their port for an
 // unbounded window, so any pair sharing an output is a conflict).
 func (mg *Manager) CheckTables(now sim.Cycle) error {
-	checkConflicts := mg.opts.Mechanism == MechComplete
+	checkConflicts := mg.pol.ConflictChecked()
 	for id, tb := range mg.tables {
 		for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
 			if cap := mg.opts.MaxCircuitsPerPort; cap > 0 {
@@ -59,7 +59,7 @@ func (mg *Manager) CheckTables(now sim.Cycle) error {
 // the NI still plans to use the circuit — exactly the divergence this
 // oracle exists to catch before the reply does.
 func (mg *Manager) CheckRegistry(now sim.Cycle) error {
-	if mg.opts.Mechanism != MechComplete {
+	if !mg.pol.RegistryChecked() {
 		return nil // fragmented paths have legal gaps; ideal/probe differ structurally
 	}
 	for _, regs := range mg.regs {
@@ -112,7 +112,7 @@ func (mg *Manager) CheckRegistry(now sim.Cycle) error {
 // teardown differs structurally, so the oracle is scoped to untimed
 // complete circuits.
 func (mg *Manager) CheckLeaks(now sim.Cycle) error {
-	if mg.opts.Mechanism != MechComplete || mg.opts.Timed {
+	if !mg.pol.LeakChecked(&mg.opts) {
 		return nil
 	}
 	covered := map[circKey]bool{}

@@ -321,8 +321,9 @@ func (ni *NI) tryInjectVN(vn int, now sim.Cycle) bool {
 	return true
 }
 
-// pickVC chooses the injection VC: a forced circuit VC, or the allocatable
-// VC with the most credits.
+// pickVC chooses the injection VC: a forced circuit VC (the switching
+// policy's Inject hook sets Message.InjectVC when the reply rides a
+// reservation), or the allocatable VC with the most credits.
 func (ni *NI) pickVC(vn int, m *Message) int {
 	if m.InjectVC > 0 {
 		if m.InjectVC >= ni.cfg.VCsPerVN[vn] {

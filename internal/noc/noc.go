@@ -158,6 +158,9 @@ type UndoToken struct {
 
 // CircuitHandler is the seam between the generic wormhole router and the
 // Reactive Circuits mechanism. A nil handler yields the baseline network.
+// The concrete handler is core.Manager, which delegates every decision to
+// the registered switching policy (core.Policy) the run's options select —
+// the routers never see which policy is driving them.
 //
 // All methods are invoked synchronously from within Router.Tick.
 type CircuitHandler interface {
@@ -192,7 +195,9 @@ type CircuitHandler interface {
 }
 
 // NIHook lets the circuit layer steer injection and delivery at the
-// network interfaces. A nil hook yields baseline behaviour.
+// network interfaces. A nil hook yields baseline behaviour. Like
+// CircuitHandler, the concrete hook is core.Manager dispatching to the
+// selected switching policy (its Inject and Deliver hooks).
 type NIHook interface {
 	// OnInject is consulted when msg reaches the head of its NI queue. It
 	// may set UseCircuit / Scrounging / route metadata and returns the

@@ -475,7 +475,9 @@ func (r *Router) runBypass(usedIn, usedOut *[mesh.NumDirs]bool, outUser *[mesh.N
 }
 
 // stage2VA runs the two-phase round-robin VC allocator; circuit
-// reservation happens "in parallel with VC allocation" via OnRequestVA.
+// reservation happens "in parallel with VC allocation" via OnRequestVA —
+// the switching policy's Reserve hook fires here, and its table write
+// becomes visible to the next cycle's bypass checks, never this one's.
 func (r *Router) stage2VA(now sim.Cycle) {
 	reqs := &r.vaReqs
 	for d := range reqs {

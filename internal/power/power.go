@@ -76,6 +76,17 @@ func ConfigFor(nodes int, opts core.Options) RouterConfig {
 		rc.TotalVCs = 5
 		rc.BufferedVCs = 5
 		rc.CircEntries = opts.MaxCircuitsPerPort
+		if opts.Policy == "dynamic-vc" {
+			// The dynamic-vc policy provisions DynVCMax reserved reply
+			// VCs in hardware (the adaptive limit is control state, not
+			// area): 2 request VCs + 1 ordinary reply VC + the partition.
+			max := opts.DynVCMax
+			if max <= 0 {
+				max = 3
+			}
+			rc.TotalVCs = 3 + max
+			rc.BufferedVCs = rc.TotalVCs
+		}
 	case core.MechComplete:
 		rc.BufferedVCs = 3 // the circuit VC loses its buffer
 		rc.CircEntries = opts.MaxCircuitsPerPort

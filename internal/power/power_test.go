@@ -169,3 +169,31 @@ func TestAddrBits(t *testing.T) {
 		}
 	}
 }
+
+// TestDynamicVCRouterInventory: the dynamic-vc policy provisions its
+// maximum reserved-VC partition in hardware — the area model must charge
+// for DynVCMax buffered VCs (plus 2 request VCs and 1 ordinary reply VC),
+// defaulting to 3 when the knob is unset, and more VCs must cost area.
+func TestDynamicVCRouterInventory(t *testing.T) {
+	base := core.Options{Mechanism: core.MechFragmented, MaxCircuitsPerPort: 4, Policy: "dynamic-vc"}
+
+	rc := ConfigFor(16, base)
+	if rc.TotalVCs != 6 || rc.BufferedVCs != 6 {
+		t.Fatalf("default dynamic-vc VCs = %d/%d, want 6/6 (3 + DynVCMax default 3)", rc.TotalVCs, rc.BufferedVCs)
+	}
+
+	wide := base
+	wide.DynVCMax = 5
+	rcWide := ConfigFor(16, wide)
+	if rcWide.TotalVCs != 8 || rcWide.BufferedVCs != 8 {
+		t.Fatalf("DynVCMax=5 VCs = %d/%d, want 8/8", rcWide.TotalVCs, rcWide.BufferedVCs)
+	}
+	if rcWide.RouterArea() <= rc.RouterArea() {
+		t.Fatal("a wider provisioned partition must cost router area")
+	}
+
+	frag := ConfigFor(16, core.Options{Mechanism: core.MechFragmented, MaxCircuitsPerPort: 2})
+	if frag.TotalVCs != 5 {
+		t.Fatalf("plain fragmented VCs = %d, want 5 (policy leak?)", frag.TotalVCs)
+	}
+}

@@ -26,13 +26,14 @@ import (
 type RunFunc func(ctx context.Context, spec chip.Spec) (*chip.Results, error)
 
 // SpecFromSeed deterministically derives a random spec from a seed: chip
-// size, variant (including the related-work comparators), workload shape
-// and scale, operation counts, and simulation seed all vary. The same seed
-// always yields the same spec, so a failing seed is a complete reproducer.
+// size, variant (the paper's, the policy-lab presets and the related-work
+// comparators), workload shape and scale, operation counts, and simulation
+// seed all vary. The same seed always yields the same spec, so a failing
+// seed is a complete reproducer.
 func SpecFromSeed(seed uint64) chip.Spec {
 	rng := sim.NewRNG(seed ^ 0x9e3779b97f4a7c15)
 
-	variants := append(config.Variants(), config.Comparators()[1:3]...)
+	variants := append(config.SweepVariants(), config.Comparators()[1:3]...)
 	v := variants[rng.Intn(len(variants))]
 
 	var w workload.Profile

@@ -1,0 +1,80 @@
+package differ
+
+import (
+	"context"
+	"testing"
+
+	"reactivenoc/internal/chip"
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/workload"
+)
+
+// policySpec builds the conformance cell for one policy's representative
+// variant: the 16-core chip under the micro workload with the online
+// oracles armed at a tight cadence and the end-of-run audits on, so a
+// leaked circuit entry, conservation violation or oracle breach fails the
+// run rather than hiding in the aggregates.
+func policySpec(v config.Variant) chip.Spec {
+	s := chip.DefaultSpec(config.Chip16(), v, workload.Micro())
+	s.WarmupOps = 500
+	s.MeasureOps = 4000
+	s.Audit = true
+	s.Verify = true
+	s.VerifyEvery = 8
+	return s
+}
+
+// TestPolicyConformance enumerates every registered switching policy and
+// runs its representative variant through the full gauntlet: a registered
+// preset must exist (a policy without a runnable preset cannot be
+// tested), the run must come back oracle-clean and audit-clean (which
+// includes zero leaked circuit entries at quiesce), and the pooled,
+// unpooled and dense-kernel legs must be bit-identical.
+func TestPolicyConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy conformance runs full simulations")
+	}
+	names := config.PolicyNames()
+	if len(names) < 7 {
+		t.Fatalf("expected at least 7 registered policies (5 paper mechanisms + profiled-hybrid + dynamic-vc), got %d: %v", len(names), names)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			v, ok := config.VariantForPolicy(name)
+			if !ok {
+				t.Fatalf("policy %q has no registered representative variant; add one to config.Variants, PolicyVariants or Comparators", name)
+			}
+			if err := RunDifferential(context.Background(), policySpec(v), nil); err != nil {
+				t.Fatalf("policy %q (variant %s): %v", name, v.Name, err)
+			}
+		})
+	}
+}
+
+// TestPolicyConformanceQuiesce reruns each policy's representative cell
+// without pooling and asserts directly that no circuit state survives the
+// drain: the audit inside the run checks router tables and NI registries
+// at quiesce, so an unclean teardown fails here with the offending
+// router/entry named instead of as an aggregate divergence.
+func TestPolicyConformanceQuiesce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy conformance runs full simulations")
+	}
+	for _, name := range config.PolicyNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			v, ok := config.VariantForPolicy(name)
+			if !ok {
+				t.Fatalf("policy %q has no registered representative variant", name)
+			}
+			s := policySpec(v)
+			s.NoPool = true
+			if _, err := chip.RunCtx(context.Background(), s); err != nil {
+				t.Fatalf("policy %q unpooled audit run: %v", name, err)
+			}
+		})
+	}
+}
