@@ -16,8 +16,15 @@ import (
 	"reactivenoc/internal/workload"
 )
 
+// bigVariants trims the 256-core section to the distinct-mechanism cells:
+// a full 16x16 sweep of every variant would dominate the suite's runtime
+// without covering new code paths.
+var bigVariants = map[string]bool{
+	"Baseline": true, "Complete_NoAck": true, "Reuse_NoAck": true,
+}
+
 func main() {
-	for _, c := range []config.Chip{config.Chip16(), config.Chip64()} {
+	for _, c := range []config.Chip{config.Chip16(), config.Chip64(), config.Chip256()} {
 		for _, wn := range []string{"micro", "canneal"} {
 			w, ok := workload.ByName(wn)
 			if !ok {
@@ -26,7 +33,13 @@ func main() {
 				}
 				w = workload.Micro()
 			}
+			if c.Nodes() > 64 && wn != "micro" {
+				continue
+			}
 			for _, v := range config.Variants() {
+				if c.Nodes() > 64 && !bigVariants[v.Name] {
+					continue
+				}
 				spec := chip.DefaultSpec(c, v, w)
 				spec.WarmupOps = 600
 				spec.MeasureOps = 2400

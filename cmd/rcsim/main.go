@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"reactivenoc/internal/chip"
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	chipSize := flag.Int("chip", 16, "chip size: 16 or 64 cores")
+	chipSize := flag.Int("chip", 16, "chip size: 16, 64 or 256 cores")
 	variantName := flag.String("variant", "Complete_NoAck",
 		"mechanism variant: "+strings.Join(config.RegisteredNames(), ", "))
 	policyName := flag.String("policy", "",
@@ -41,6 +42,8 @@ func main() {
 	verifyEvery := flag.Int64("verify-every", 0, "oracle cadence in cycles with -verify (0 = default)")
 	timeout := flag.Duration("timeout", 0, "wall-clock cap for the run (0 = none)")
 	nopool := flag.Bool("nopool", false, "disable flit/message recycling (bit-identical; for bisecting pool bugs)")
+	shards := flag.Int("shards", -1,
+		"parallel engine row-band shards (bit-identical): 0 = GOMAXPROCS, 1 = sequential, -1 = defer to RC_SHARDS")
 	// -trace is the message-lifecycle trace above, so the runtime execution
 	// trace lives under -exectrace here.
 	profiles := prof.Flags("exectrace")
@@ -57,8 +60,10 @@ func main() {
 		c = config.Chip16()
 	case 64:
 		c = config.Chip64()
+	case 256:
+		c = config.Chip256()
 	default:
-		fatal("chip must be 16 or 64")
+		fatal("chip must be 16, 64 or 256")
 	}
 	v, ok := config.ByName(*variantName)
 	if !ok {
@@ -86,6 +91,12 @@ func main() {
 	spec.NoPool = *nopool
 	spec.Verify = *verifyRun
 	spec.VerifyEvery = sim.Cycle(*verifyEvery)
+	if *shards >= 0 {
+		spec.Shards = *shards
+		if *shards == 0 {
+			spec.Shards = runtime.GOMAXPROCS(0)
+		}
+	}
 	if err := profiles.Start(); err != nil {
 		fatal("%v", err)
 	}

@@ -44,6 +44,17 @@ func TestFingerprintIgnoresObservers(t *testing.T) {
 	}
 }
 
+// TestFingerprintIgnoresEngineKnobs: Shards picks an execution engine, not
+// an experiment — a sharded and a sequential run of the same spec produce
+// bit-identical results and must land in the same cache slot.
+func TestFingerprintIgnoresEngineKnobs(t *testing.T) {
+	a, b := testSpec(), testSpec()
+	b.Shards = 8
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("Shards leaked into the fingerprint")
+	}
+}
+
 // mutate flips one leaf field (addressed by v) to a different value,
 // returning false for kinds that intentionally do not fingerprint (funcs).
 func mutate(t *testing.T, v reflect.Value, path string) bool {
@@ -78,6 +89,9 @@ func leafFields(t *testing.T, v reflect.Value, path string, visit func(reflect.V
 			f := v.Type().Field(i)
 			if !f.IsExported() {
 				t.Fatalf("field %s.%s is unexported: JSON fingerprinting would miss it", path, f.Name)
+			}
+			if f.Tag.Get("json") == "-" {
+				continue // deliberately unfingerprinted (observers, engine knobs)
 			}
 			leafFields(t, v.Field(i), path+"."+f.Name, visit)
 		}

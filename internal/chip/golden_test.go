@@ -1,6 +1,7 @@
 package chip
 
 import (
+	"strings"
 	"testing"
 
 	"reactivenoc/internal/config"
@@ -34,7 +35,7 @@ var goldenMatrix = []goldenRow{
 	{"16-core", "micro", "Fragmented", 3836, 670, 247, 247, 5393, 193, 2639, 230, 5119, 6022},
 	{"16-core", "micro", "Complete", 3833, 670, 247, 247, 5366, 193, 2896, 230, 5090, 6022},
 	{"16-core", "micro", "Complete_NoAck", 3829, 514, 247, 247, 5362, 193, 2884, 230, 1734, 5424},
-	{"16-core", "micro", "Reuse_NoAck", 3829, 514, 247, 247, 5362, 193, 2884, 230, 1733, 5429},
+	{"16-core", "micro", "Reuse_NoAck", 3829, 514, 247, 247, 5362, 193, 2884, 230, 1734, 5429},
 	{"16-core", "micro", "Timed_NoAck", 3839, 670, 247, 247, 5385, 193, 3052, 230, 5087, 6022},
 	{"16-core", "micro", "Slack_1_NoAck", 3847, 521, 247, 247, 5357, 193, 2850, 230, 1787, 5433},
 	{"16-core", "micro", "Slack_2_NoAck", 3847, 515, 247, 247, 5345, 193, 2811, 230, 1700, 5416},
@@ -46,7 +47,7 @@ var goldenMatrix = []goldenRow{
 	{"16-core", "canneal", "Fragmented", 4308, 938, 340, 340, 7302, 310, 4094, 288, 6085, 8311},
 	{"16-core", "canneal", "Complete", 4350, 938, 340, 340, 7273, 310, 4733, 288, 6115, 8311},
 	{"16-core", "canneal", "Complete_NoAck", 4350, 729, 340, 340, 7258, 310, 4733, 288, 1822, 7554},
-	{"16-core", "canneal", "Reuse_NoAck", 4334, 728, 340, 340, 7224, 310, 4710, 288, 1803, 7570},
+	{"16-core", "canneal", "Reuse_NoAck", 4335, 728, 340, 340, 7224, 310, 4710, 288, 1803, 7570},
 	{"16-core", "canneal", "Timed_NoAck", 4387, 938, 340, 340, 7267, 310, 4702, 288, 6124, 8311},
 	{"16-core", "canneal", "Slack_1_NoAck", 4380, 726, 340, 340, 7237, 310, 4565, 288, 1691, 7523},
 	{"16-core", "canneal", "Slack_2_NoAck", 4370, 721, 340, 340, 7277, 310, 4453, 288, 1581, 7506},
@@ -58,7 +59,7 @@ var goldenMatrix = []goldenRow{
 	{"64-core", "micro", "Fragmented", 4369, 2991, 1176, 1176, 40003, 711, 13656, 1104, 38343, 40478},
 	{"64-core", "micro", "Complete", 4516, 2993, 1177, 1177, 39979, 711, 17199, 1105, 38353, 40498},
 	{"64-core", "micro", "Complete_NoAck", 4422, 2539, 1179, 1179, 40006, 713, 17033, 1107, 23351, 37848},
-	{"64-core", "micro", "Reuse_NoAck", 4479, 2541, 1179, 1179, 39986, 713, 17037, 1107, 23361, 37994},
+	{"64-core", "micro", "Reuse_NoAck", 4479, 2541, 1179, 1179, 39984, 713, 17038, 1107, 23357, 37994},
 	{"64-core", "micro", "Timed_NoAck", 4462, 2994, 1177, 1177, 40052, 712, 16968, 1105, 38272, 40489},
 	{"64-core", "micro", "Slack_1_NoAck", 4452, 2510, 1177, 1177, 39989, 712, 15874, 1105, 22232, 37590},
 	{"64-core", "micro", "Slack_2_NoAck", 4449, 2522, 1176, 1176, 39896, 711, 16306, 1104, 22715, 37620},
@@ -70,7 +71,7 @@ var goldenMatrix = []goldenRow{
 	{"64-core", "canneal", "Fragmented", 5513, 3753, 1446, 1446, 49388, 1020, 20558, 1287, 44170, 53782},
 	{"64-core", "canneal", "Complete", 5582, 3751, 1445, 1445, 49033, 1020, 26441, 1286, 43964, 53755},
 	{"64-core", "canneal", "Complete_NoAck", 5454, 3194, 1445, 1445, 49000, 1019, 26104, 1286, 25528, 50392},
-	{"64-core", "canneal", "Reuse_NoAck", 5472, 3179, 1445, 1445, 49025, 1018, 26050, 1285, 25194, 50484},
+	{"64-core", "canneal", "Reuse_NoAck", 5470, 3180, 1445, 1445, 49033, 1018, 26037, 1286, 25360, 50517},
 	{"64-core", "canneal", "Timed_NoAck", 5480, 3752, 1446, 1446, 49065, 1019, 25211, 1287, 44067, 53791},
 	{"64-core", "canneal", "Slack_1_NoAck", 5537, 3113, 1444, 1444, 49192, 1019, 22760, 1285, 22268, 49773},
 	{"64-core", "canneal", "Slack_2_NoAck", 5551, 3143, 1444, 1444, 48990, 1019, 23657, 1285, 23470, 50003},
@@ -78,6 +79,9 @@ var goldenMatrix = []goldenRow{
 	{"64-core", "canneal", "SlackDelay_1_NoAck", 5450, 3072, 1444, 1444, 49113, 1019, 21849, 1285, 20853, 49514},
 	{"64-core", "canneal", "Postponed_1_NoAck", 5657, 3072, 1444, 1444, 48995, 1019, 21972, 1285, 20909, 49553},
 	{"64-core", "canneal", "Ideal", 5395, 3748, 1444, 1444, 49316, 1019, 18850, 1285, 44131, 53757},
+	{"256-core", "micro", "Baseline", 8194, 11727, 4599, 4599, 282835, 2810, 184957, 4318, 266410, 308349},
+	{"256-core", "micro", "Complete_NoAck", 8202, 10641, 4590, 4590, 283822, 2796, 146464, 4310, 209236, 295487},
+	{"256-core", "micro", "Reuse_NoAck", 7849, 10643, 4593, 4593, 284106, 2797, 145123, 4310, 207213, 295680},
 }
 
 func goldenSpec(row goldenRow, t *testing.T) Spec {
@@ -88,6 +92,8 @@ func goldenSpec(row goldenRow, t *testing.T) Spec {
 		c = config.Chip16()
 	case "64-core":
 		c = config.Chip64()
+	case "256-core":
+		c = config.Chip256()
 	default:
 		t.Fatalf("unknown chip %q", row.chip)
 	}
@@ -152,7 +158,7 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	for _, row := range goldenMatrix {
 		row := row
-		if testing.Short() && row.chip == "64-core" && !shortKeep[row.variant] {
+		if testing.Short() && row.chip != "16-core" && !(row.chip == "64-core" && shortKeep[row.variant]) {
 			continue
 		}
 		t.Run(row.chip+"/"+row.workload+"/"+row.variant, func(t *testing.T) {
@@ -212,6 +218,65 @@ func TestPooledMatchesUnpooled(t *testing.T) {
 				}
 				if got := unpooled.Metrics.Value(name); got != v {
 					t.Errorf("metric %s: pooled %d, unpooled %d", name, v, got)
+				}
+			}
+		})
+	}
+}
+
+// parallelRows selects the cells the sharded-engine cross-check runs: the
+// usual tricky cells plus (outside -short) every 256-core row — the scale
+// the parallel engine exists for.
+func parallelRows() []int {
+	rows := crossCheckRows()
+	if !testing.Short() {
+		for i, row := range goldenMatrix {
+			if row.chip == "256-core" {
+				rows = append(rows, i)
+			}
+		}
+	}
+	return rows
+}
+
+// TestParallelMatchesSequential cross-checks the tile-sharded engine
+// against the sequential reference at every shard count the mesh admits:
+// the pinned aggregates and the full metrics snapshot must agree bit for
+// bit. Divergence is allowed only for scheduling state (kernel/active — a
+// cross-shard wake can arrive mid-phase where the sequential engine's
+// arrived before the tick) and the per-shard pools' own bookkeeping
+// (noc/pool_*), the same carve-outs the dense and unpooled checks use.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, i := range parallelRows() {
+		row := goldenMatrix[i]
+		t.Run(row.chip+"/"+row.workload+"/"+row.variant, func(t *testing.T) {
+			t.Parallel()
+			seq, err := Run(goldenSpec(row, t))
+			if err != nil {
+				t.Fatalf("sequential run failed: %v", err)
+			}
+			checkGolden(t, row, seq)
+			for _, shards := range []int{2, 4, 8} {
+				spec := goldenSpec(row, t)
+				if shards > spec.Chip.Height {
+					break // ClampShards would collapse this into the previous count
+				}
+				spec.Shards = shards
+				par, err := Run(spec)
+				if err != nil {
+					t.Fatalf("shards=%d run failed: %v", shards, err)
+				}
+				checkGolden(t, row, par)
+				if par.SimCycles != seq.SimCycles {
+					t.Errorf("shards=%d: SimCycles %d != sequential %d", shards, par.SimCycles, seq.SimCycles)
+				}
+				for name, v := range seq.Metrics.Vals {
+					if name == "kernel/active" || strings.HasPrefix(name, "noc/pool_") {
+						continue
+					}
+					if got := par.Metrics.Value(name); got != v {
+						t.Errorf("shards=%d: metric %s: parallel %d, sequential %d", shards, name, got, v)
+					}
 				}
 			}
 		})

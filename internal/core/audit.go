@@ -68,11 +68,16 @@ func (mg *Manager) AuditQuiescent(now sim.Cycle) error {
 			return fmt.Errorf("core: NI %d leaks circuit record (%d,%#x)", ni, k.dest, k.block)
 		}
 	}
-	if len(mg.walks) != 0 {
-		return fmt.Errorf("core: %d reservation walks outstanding", len(mg.walks))
+	var walks, rides int64
+	for s := 0; s < mg.nshards; s++ {
+		walks += mg.walksLive[s]
+		rides += mg.ridesLive[s]
 	}
-	if len(mg.rides) != 0 {
-		return fmt.Errorf("core: %d scrounger rides outstanding", len(mg.rides))
+	if walks != 0 {
+		return fmt.Errorf("core: %d reservation walks outstanding", walks)
+	}
+	if rides != 0 {
+		return fmt.Errorf("core: %d scrounger rides outstanding", rides)
 	}
 	return nil
 }

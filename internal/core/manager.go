@@ -86,19 +86,64 @@ type Manager struct {
 
 	tables []*table
 	regs   []map[circKey]*record
-	walks  map[*noc.Message]*walk
-	rides  map[*noc.Message]*record
-	// walkFree recycles walk objects: a walk lives strictly between the
-	// first OnRequestVA on a path and recordCircuit/probe delivery, so a
-	// LIFO free-list is deterministic and keeps reservation allocation-free.
-	walkFree []*walk
+	// walkFree recycles walk objects per shard: a walk lives strictly
+	// between the first OnRequestVA on a path and recordCircuit/probe
+	// delivery, so a LIFO free-list is deterministic and keeps reservation
+	// allocation-free. The walk itself travels on Message.Walk.
+	walkFree [][]*walk
 
 	// Stats aggregates the circuit-construction outcomes (Figure 6,
-	// Table 5) for the run.
+	// Table 5) for the run. Under the parallel engine it holds shard 0's
+	// share; stats[s] holds shard s's (stats[0] aliases &Stats) and
+	// StatsTotal folds them.
 	Stats Stats
+	stats []*Stats
+
+	// Parallel-engine state. nshards <= 1 means every tile maps to shard 0
+	// and the manager behaves exactly as before sharding existed.
+	nshards  int
+	shardMap []int
+	// ops holds the cross-tile mutations deferred to the cycle epilogue
+	// (FlushCycle): scrounger ride releases and probe-completion notices.
+	// Deferral runs in every engine mode, so sequential and parallel runs
+	// apply them at the same point of the cycle by construction.
+	ops [][]managerOp
+	// walksLive/ridesLive track outstanding walks and rides for the
+	// quiescence audit. A walk or ride may be created on one shard and
+	// retired on another, so individual slots can go negative; only the
+	// sum is meaningful.
+	walksLive []int64
+	ridesLive []int64
 
 	tracer *trace.Buffer
 	fault  FaultHook
+}
+
+// managerOp is one deferred cross-tile mutation, applied at FlushCycle.
+type managerOp struct {
+	kind   uint8
+	rec    *record     // opRideRelease: the ridden circuit's record
+	src    mesh.NodeID // opProbeUp: the probe's source NI
+	key    circKey     // opProbeUp
+	failed bool        // opProbeUp
+}
+
+const (
+	opRideRelease uint8 = iota + 1
+	opProbeUp
+)
+
+// shardAware is implemented by policies that keep per-shard state slices;
+// the manager calls it from SetShards before any traffic exists.
+type shardAware interface {
+	setShards(mg *Manager)
+}
+
+// cycleFlusher is implemented by policies that defer work to the cycle
+// epilogue; the manager calls it from FlushCycle after its own deferred
+// operations.
+type cycleFlusher interface {
+	flushCycle(mg *Manager, now sim.Cycle)
 }
 
 // SetTracer attaches a lifecycle tracer for circuit events (nil detaches).
@@ -120,16 +165,120 @@ func NewManager(opts Options, m mesh.Mesh) *Manager {
 		m:      m,
 		tables: make([]*table, m.Nodes()),
 		regs:   make([]map[circKey]*record, m.Nodes()),
-		walks:  map[*noc.Message]*walk{},
-		rides:  map[*noc.Message]*record{},
 	}
 	for i := range mg.tables {
 		mg.tables[i] = &table{}
 		mg.regs[i] = map[circKey]*record{}
 	}
+	mg.nshards = 1
+	mg.stats = []*Stats{&mg.Stats}
+	mg.walkFree = make([][]*walk, 1)
+	mg.ops = make([][]managerOp, 1)
+	mg.walksLive = make([]int64, 1)
+	mg.ridesLive = make([]int64, 1)
 	mg.pol = mustPolicyFor(opts)
 	mg.pol.Attach(mg)
 	return mg
+}
+
+// SetShards partitions the manager's mutable state for the parallel
+// engine: per-shard statistics (slot 0 aliasing Stats), walk free-lists,
+// deferred-op queues and policy state. Must run before any traffic;
+// shardMap maps every tile to its shard. shards <= 1 is a no-op.
+func (mg *Manager) SetShards(shards int, shardMap []int) {
+	if shards <= 1 {
+		return
+	}
+	mg.nshards = shards
+	mg.shardMap = shardMap
+	mg.stats = make([]*Stats, shards)
+	mg.stats[0] = &mg.Stats
+	for s := 1; s < shards; s++ {
+		mg.stats[s] = &Stats{}
+	}
+	mg.walkFree = make([][]*walk, shards)
+	mg.ops = make([][]managerOp, shards)
+	mg.walksLive = make([]int64, shards)
+	mg.ridesLive = make([]int64, shards)
+	if sa, ok := mg.pol.(shardAware); ok {
+		sa.setShards(mg)
+	}
+}
+
+// Shards returns the shard count the manager is partitioned into.
+func (mg *Manager) Shards() int { return mg.nshards }
+
+// shard returns the shard owning tile id.
+func (mg *Manager) shard(id mesh.NodeID) int {
+	if mg.nshards <= 1 {
+		return 0
+	}
+	return mg.shardMap[id]
+}
+
+// st returns the statistics slice the hook running at tile id must update.
+func (mg *Manager) st(id mesh.NodeID) *Stats {
+	return mg.stats[mg.shard(id)]
+}
+
+// StatsTotal folds every shard's statistics into one total; with one shard
+// it is simply a copy of Stats. Shard order makes the fold deterministic
+// (the fields are sums, so it is order-independent anyway).
+func (mg *Manager) StatsTotal() Stats {
+	total := mg.Stats
+	for s := 1; s < mg.nshards; s++ {
+		total.Add(mg.stats[s])
+	}
+	return total
+}
+
+// ResetStats zeroes every shard's statistics (post-warm-up measurement
+// reset; architectural circuit state is untouched).
+func (mg *Manager) ResetStats() {
+	for _, st := range mg.stats {
+		*st = Stats{}
+	}
+}
+
+// deferOp queues a cross-tile mutation raised at tile at for FlushCycle.
+func (mg *Manager) deferOp(at mesh.NodeID, op managerOp) {
+	s := mg.shard(at)
+	mg.ops[s] = append(mg.ops[s], op)
+}
+
+// FlushCycle applies the cycle's deferred cross-tile operations, in shard
+// order and enqueue order within each shard — which, with the contiguous
+// tile bands, is ascending NI order, the same order the sequential NI
+// phase visits the raising tiles. It runs from the kernel epilogue in
+// every engine mode; unit tests driving hooks by hand call it directly.
+func (mg *Manager) FlushCycle(now sim.Cycle) {
+	for s := range mg.ops {
+		ops := mg.ops[s]
+		for i := range ops {
+			op := ops[i]
+			ops[i] = managerOp{}
+			switch op.kind {
+			case opRideRelease:
+				op.rec.inUse = false
+				if op.rec.pendingUndo {
+					// The protocol undid the circuit mid-ride; tear it
+					// down now that the borrowed flits have cleared
+					// every router.
+					mg.teardown(op.rec, now)
+				}
+			case opProbeUp:
+				if rec := mg.regs[op.src][op.key]; rec != nil {
+					rec.probeUp = true
+					rec.failed = op.failed
+					rec.complete = !op.failed
+				}
+			}
+		}
+		mg.ops[s] = ops[:0]
+	}
+	if f, ok := mg.pol.(cycleFlusher); ok {
+		f.flushCycle(mg, now)
+	}
 }
 
 // Policy returns the switching policy this manager dispatches through.
@@ -165,23 +314,32 @@ func (mg *Manager) pathHops(msg *noc.Message) int {
 	return mg.m.Hops(msg.Src, msg.Dst)
 }
 
-// newWalk returns a reset walk from the free-list (or a fresh one).
-func (mg *Manager) newWalk() *walk {
+// newWalk returns a reset walk from tile at's shard free-list (or a fresh
+// one) and counts it live.
+func (mg *Manager) newWalk(at mesh.NodeID) *walk {
+	s := mg.shard(at)
 	var w *walk
-	if n := len(mg.walkFree); n > 0 {
-		w = mg.walkFree[n-1]
-		mg.walkFree[n-1] = nil
-		mg.walkFree = mg.walkFree[:n-1]
+	free := mg.walkFree[s]
+	if n := len(free); n > 0 {
+		w = free[n-1]
+		free[n-1] = nil
+		mg.walkFree[s] = free[:n-1]
 	} else {
 		w = new(walk)
 	}
+	mg.walksLive[s]++
 	*w = walk{prevVC: -1, injLo: -1 << 60, injHi: 1 << 60}
 	return w
 }
 
-func (mg *Manager) freeWalk(w *walk) {
+// freeWalk retires w to tile at's shard free-list. A walk may start on one
+// shard (the first reserving router) and retire on another (the recording
+// NI); each side touches only its own shard's list and live counter.
+func (mg *Manager) freeWalk(at mesh.NodeID, w *walk) {
 	if w != nil {
-		mg.walkFree = append(mg.walkFree, w)
+		s := mg.shard(at)
+		mg.walkFree[s] = append(mg.walkFree[s], w)
+		mg.walksLive[s]--
 	}
 }
 
@@ -194,23 +352,24 @@ func (mg *Manager) freeWalk(w *walk) {
 // request leaves) and exit via port in (where the request entered). The
 // reservation itself is the policy's: the manager only tracks the walk.
 func (mg *Manager) OnRequestVA(id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, now sim.Cycle) {
-	w := mg.walks[msg]
+	w, _ := msg.Walk.(*walk)
 	if w == nil {
-		w = mg.newWalk()
-		mg.walks[msg] = w
+		w = mg.newWalk(id)
+		msg.Walk = w
 	}
 	w.routers++
 	mg.pol.Reserve(mg, id, msg, in, out, w, now)
 }
 
-func (mg *Manager) noteOrdinal(ord int) {
+func (mg *Manager) noteOrdinal(id mesh.NodeID, ord int) {
 	if ord < 1 {
 		return
 	}
-	if ord > len(mg.Stats.Ordinals) {
-		ord = len(mg.Stats.Ordinals)
+	st := mg.st(id)
+	if ord > len(st.Ordinals) {
+		ord = len(st.Ordinals)
 	}
-	mg.Stats.Ordinals[ord-1]++
+	st.Ordinals[ord-1]++
 }
 
 // Bypass implements the input-unit circuit check of Figure 3.
@@ -241,7 +400,7 @@ func (mg *Manager) Bypass(id mesh.NodeID, f *noc.Flit, in mesh.Dir, now sim.Cycl
 		if f.Tail {
 			e.built = false
 			e.inUse = nil
-			mg.net.Events().CircuitWrites++
+			mg.net.EventsAt(id).CircuitWrites++
 		}
 		return 0, 0, false
 	}
@@ -262,7 +421,7 @@ func (mg *Manager) Release(id mesh.NodeID, f *noc.Flit, in mesh.Dir, now sim.Cyc
 	e.inUse = nil
 	if !f.Msg.Scrounging {
 		e.built = false
-		mg.net.Events().CircuitWrites++
+		mg.net.EventsAt(id).CircuitWrites++
 	}
 }
 
@@ -306,7 +465,8 @@ func (mg *Manager) injectFallback(ni mesh.NodeID, msg *noc.Message, now sim.Cycl
 	if mg.opts.Reuse {
 		if r := mg.scroungeTarget(ni, msg); r != nil {
 			r.inUse = true
-			mg.rides[msg] = r
+			msg.Ride = r
+			mg.ridesLive[mg.shard(ni)]++
 			msg.Scrounging = true
 			msg.FinalDst = msg.Dst
 			msg.Dst = r.key.dest
@@ -314,8 +474,8 @@ func (mg *Manager) injectFallback(ni mesh.NodeID, msg *noc.Message, now sim.Cycl
 			msg.InjectVC = r.injectVC
 			msg.CircDest = r.key.dest
 			msg.CircBlock = r.key.block
-			mg.classify(msg, OutcomeScrounger)
-			mg.Stats.ScroungerRides++
+			mg.classify(ni, msg, OutcomeScrounger)
+			mg.st(ni).ScroungerRides++
 			if mg.tracer != nil {
 				mg.tracer.Record(now, trace.Scrounge, msg.ID, ni,
 					fmt.Sprintf("rides (%d,%#x) toward %d", r.key.dest, r.key.block, msg.FinalDst))
@@ -324,9 +484,9 @@ func (mg *Manager) injectFallback(ni mesh.NodeID, msg *noc.Message, now sim.Cycl
 		}
 	}
 	if msg.OutcomeHint != 0 {
-		mg.classify(msg, Outcome(msg.OutcomeHint))
+		mg.classify(ni, msg, Outcome(msg.OutcomeHint))
 	} else {
-		mg.classify(msg, OutcomeNotEligible)
+		mg.classify(ni, msg, OutcomeNotEligible)
 	}
 	return now
 }
@@ -356,13 +516,13 @@ func (mg *Manager) scroungeTarget(ni mesh.NodeID, msg *noc.Message) *record {
 	return best
 }
 
-func (mg *Manager) classify(msg *noc.Message, o Outcome) {
+func (mg *Manager) classify(ni mesh.NodeID, msg *noc.Message, o Outcome) {
 	if msg.Classified {
 		return
 	}
 	msg.Classified = true
-	mg.Stats.Replies[o]++
-	mg.pol.Observe(mg, msg, o)
+	mg.st(ni).Replies[o]++
+	mg.pol.Observe(mg, ni, msg, o)
 }
 
 // OnDeliver finalizes a request's circuit record at the NI where its reply
@@ -380,17 +540,16 @@ func (mg *Manager) OnDeliver(ni mesh.NodeID, msg *noc.Message, now sim.Cycle) bo
 		return true
 	}
 	if msg.Scrounging {
-		rec := mg.rides[msg]
+		rec, _ := msg.Ride.(*record)
 		if rec == nil {
 			panic(fmt.Sprintf("core: scrounger msg %d has no ride record", msg.ID))
 		}
-		delete(mg.rides, msg)
-		rec.inUse = false
-		if rec.pendingUndo {
-			// The protocol undid the circuit mid-ride; tear it down now
-			// that the borrowed flits have cleared every router.
-			mg.teardown(rec, now)
-		}
+		msg.Ride = nil
+		mg.ridesLive[mg.shard(ni)]--
+		// The ridden record usually lives at another tile's registry:
+		// releasing it (and any pending teardown) is deferred to the cycle
+		// epilogue so no shard mutates a neighbour's records mid-phase.
+		mg.deferOp(ni, managerOp{kind: opRideRelease, rec: rec})
 		// Preserve the latency already spent, then continue toward the
 		// real destination as a fresh injection.
 		msg.QueueCredit += msg.InjectedAt - msg.EnqueuedAt
@@ -410,13 +569,13 @@ func (mg *Manager) OnDeliver(ni mesh.NodeID, msg *noc.Message, now sim.Cycle) bo
 
 // recordCircuit stores the finished reservation walk in this NI's registry.
 func (mg *Manager) recordCircuit(ni mesh.NodeID, msg *noc.Message) {
-	w := mg.walks[msg]
-	delete(mg.walks, msg)
+	w, _ := msg.Walk.(*walk)
+	msg.Walk = nil
 	if w == nil {
 		// Zero-hop paths never touched a router; synthesize an empty walk.
-		w = mg.newWalk()
+		w = mg.newWalk(ni)
 	}
-	defer mg.freeWalk(w)
+	defer mg.freeWalk(ni, w)
 	key := circKey{dest: msg.Src, block: msg.Block}
 	path := mg.pathHops(msg) + 1
 	rec := &record{key: key, path: path, src: ni}
@@ -454,7 +613,7 @@ func (mg *Manager) Undo(ni mesh.NodeID, dest mesh.NodeID, block uint64, now sim.
 	if !mg.pol.UndoEligible(rec) {
 		return false // nothing built (or already torn down) to undo
 	}
-	mg.Stats.CircuitsUndone++
+	mg.st(ni).CircuitsUndone++
 	if mg.tracer != nil {
 		mg.tracer.Record(now, trace.CircuitUndone, 0, ni,
 			fmt.Sprintf("dest=%d block=%#x (forwarded request)", dest, block))
@@ -482,7 +641,7 @@ func (mg *Manager) clearPath(from, dest mesh.NodeID, block uint64, now sim.Cycle
 			in = dirBetween(mg.m, node, path[i-1])
 		}
 		if mg.tables[node].clear(in, dest, block, now) != nil {
-			mg.net.Events().CircuitWrites++
+			mg.net.EventsAt(node).CircuitWrites++
 		}
 	}
 }
@@ -515,8 +674,8 @@ func (mg *Manager) HasCircuit(ni mesh.NodeID, dest mesh.NodeID, block uint64, no
 // NoteEliminatedAck counts an L1_DATA_ACK removed by the NoAck
 // optimization at NI ni; the paper counts these replies at zero latency.
 func (mg *Manager) NoteEliminatedAck(ni mesh.NodeID, now sim.Cycle) {
-	mg.Stats.Replies[OutcomeEliminated]++
-	mg.Stats.EliminatedAcks++
+	mg.st(ni).Replies[OutcomeEliminated]++
+	mg.st(ni).EliminatedAcks++
 	if mg.tracer != nil {
 		mg.tracer.Record(now, trace.AckEliminated, 0, ni, "")
 	}
@@ -552,13 +711,18 @@ func (mg *Manager) OpenCircuits(now sim.Cycle) int64 {
 // under the circ/ scope. The occupancy gauge needs the current cycle and is
 // registered by the chip layer, which owns the kernel.
 func (mg *Manager) DescribeMetrics(reg *sim.Registry) {
-	reg.Counter("circ/built", &mg.Stats.CircuitsBuilt)
-	reg.Counter("circ/undone", &mg.Stats.CircuitsUndone)
-	reg.Counter("circ/scrounger_rides", &mg.Stats.ScroungerRides)
-	reg.Counter("circ/eliminated_acks", &mg.Stats.EliminatedAcks)
-	reg.Counter("circ/probes", &mg.Stats.ProbesSent)
-	reg.Counter("circ/reserve_failed_storage", &mg.Stats.ReserveFailedStorage)
-	reg.Counter("circ/reserve_failed_conflict", &mg.Stats.ReserveFailedConflict)
-	reg.Counter("circ/waited_for_window", &mg.Stats.WaitedForWindow)
+	// Per-shard slices register under the same names; the registry sums
+	// same-named counters, so snapshots report totals independent of the
+	// shard count (stats[0] aliases Stats).
+	for _, st := range mg.stats {
+		reg.Counter("circ/built", &st.CircuitsBuilt)
+		reg.Counter("circ/undone", &st.CircuitsUndone)
+		reg.Counter("circ/scrounger_rides", &st.ScroungerRides)
+		reg.Counter("circ/eliminated_acks", &st.EliminatedAcks)
+		reg.Counter("circ/probes", &st.ProbesSent)
+		reg.Counter("circ/reserve_failed_storage", &st.ReserveFailedStorage)
+		reg.Counter("circ/reserve_failed_conflict", &st.ReserveFailedConflict)
+		reg.Counter("circ/waited_for_window", &st.WaitedForWindow)
+	}
 	mg.pol.DescribeMetrics(reg)
 }

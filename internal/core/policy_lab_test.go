@@ -25,12 +25,14 @@ func TestProfiledDemotionAndReadmission(t *testing.T) {
 	req := &noc.Message{Src: 1, Dst: 6}
 	rep := &noc.Message{Src: 6, Dst: 1} // the reply's endpoints are swapped
 
-	// A window of failures demotes the flow.
+	// A window of failures demotes the flow. Observations apply at the
+	// cycle epilogue, so each cycle ends with a FlushCycle like the kernel's.
 	for i := 0; i < 4; i++ {
-		if !p.admit(req) {
+		if !p.admit(mg, req) {
 			t.Fatalf("request %d: flow demoted before its window closed", i)
 		}
-		p.Observe(mg, rep, OutcomeFailed)
+		p.Observe(mg, rep.Src, rep, OutcomeFailed)
+		p.flushCycle(mg, sim.Cycle(i))
 	}
 	if p.demotions != 1 {
 		t.Fatalf("demotions = %d, want 1", p.demotions)
@@ -38,30 +40,32 @@ func TestProfiledDemotionAndReadmission(t *testing.T) {
 
 	// Demoted requests are packets for exactly the backoff period.
 	for i := 0; i < 3; i++ {
-		if p.admit(req) {
+		if p.admit(mg, req) {
 			t.Fatalf("request %d during backoff admitted", i)
 		}
 	}
-	if !p.admit(req) {
+	if !p.admit(mg, req) {
 		t.Fatal("flow not re-admitted after backoff")
 	}
-	if p.circuitReqs != 5 || p.packetReqs != 3 {
-		t.Fatalf("circuit/packet requests = %d/%d, want 5/3", p.circuitReqs, p.packetReqs)
+	if p.circuitReqs[0] != 5 || p.packetReqs[0] != 3 {
+		t.Fatalf("circuit/packet requests = %d/%d, want 5/3", p.circuitReqs[0], p.packetReqs[0])
 	}
 
 	// A winning window keeps the re-admitted flow on circuits.
-	p.Observe(mg, rep, OutcomeCircuit)
+	p.Observe(mg, rep.Src, rep, OutcomeCircuit)
 	for i := 0; i < 3; i++ {
-		p.Observe(mg, rep, OutcomeCircuit)
+		p.Observe(mg, rep.Src, rep, OutcomeCircuit)
 	}
-	if p.demotions != 1 || !p.admit(req) {
+	p.flushCycle(mg, 10)
+	if p.demotions != 1 || !p.admit(mg, req) {
 		t.Fatal("winning flow was demoted")
 	}
 
 	// Outcomes that say nothing about the flow leave the window alone.
-	p.Observe(mg, rep, OutcomeScrounger)
-	p.Observe(mg, rep, OutcomeEliminated)
-	if f := p.flows[flowKey{src: 1, dst: 6}]; f.winDone != 0 {
+	p.Observe(mg, rep.Src, rep, OutcomeScrounger)
+	p.Observe(mg, rep.Src, rep, OutcomeEliminated)
+	p.flushCycle(mg, 11)
+	if f := p.flows[0][flowKey{src: 1, dst: 6}]; f.winDone != 0 {
 		t.Fatalf("neutral outcomes advanced the window: winDone = %d", f.winDone)
 	}
 }
@@ -82,15 +86,16 @@ func TestProfiledThreshold(t *testing.T) {
 		p.Attach(mg)
 		req := &noc.Message{Src: 0, Dst: 5}
 		rep := &noc.Message{Src: 5, Dst: 0}
-		p.admit(req)
+		p.admit(mg, req)
 		for i := 0; i < 4; i++ {
 			o := OutcomeFailed
 			if i < tc.wins {
 				o = OutcomeCircuit
 			}
-			p.Observe(mg, rep, o)
+			p.Observe(mg, rep.Src, rep, o)
 		}
-		if got := !p.admit(req); got != tc.demoted {
+		p.flushCycle(mg, 0)
+		if got := !p.admit(mg, req); got != tc.demoted {
 			t.Errorf("wins=%d: demoted=%v, want %v", tc.wins, got, tc.demoted)
 		}
 	}
@@ -115,12 +120,12 @@ func TestDynVCAdaptation(t *testing.T) {
 	failWindow := func() {
 		p.attempts[id] = 2
 		p.fails[id] = 1
-		p.adapt(id)
+		p.adapt(mg, id)
 	}
 	cleanWindow := func() {
 		p.attempts[id] = 2
 		p.fails[id] = 0
-		p.adapt(id)
+		p.adapt(mg, id)
 	}
 
 	for i := 0; i < 5; i++ {
@@ -129,8 +134,8 @@ func TestDynVCAdaptation(t *testing.T) {
 	if p.limit[id] != 4 {
 		t.Fatalf("limit after failing windows = %d, want capped at DynVCMax = 4", p.limit[id])
 	}
-	if p.grows != 3 {
-		t.Fatalf("grows = %d, want 3 (1 -> 4)", p.grows)
+	if p.grows[0] != 3 {
+		t.Fatalf("grows = %d, want 3 (1 -> 4)", p.grows[0])
 	}
 
 	for i := 0; i < 5; i++ {
@@ -139,13 +144,13 @@ func TestDynVCAdaptation(t *testing.T) {
 	if p.limit[id] != 1 {
 		t.Fatalf("limit after clean windows = %d, want floored at DynVCMin = 1", p.limit[id])
 	}
-	if p.shrinks != 3 {
-		t.Fatalf("shrinks = %d, want 3 (4 -> 1)", p.shrinks)
+	if p.shrinks[0] != 3 {
+		t.Fatalf("shrinks = %d, want 3 (4 -> 1)", p.shrinks[0])
 	}
 
 	// A half-open window adapts nothing.
 	p.attempts[id], p.fails[id] = 1, 1
-	p.adapt(id)
+	p.adapt(mg, id)
 	if p.limit[id] != 1 || p.attempts[id] != 1 {
 		t.Fatal("adapt fired before the window closed")
 	}
@@ -214,10 +219,14 @@ func TestPolicyValidateErrors(t *testing.T) {
 }
 
 // TestPolicyDescribeMetrics: the lab policies export their counters under
-// the circ/ namespace so sweeps and the service surface them.
+// the circ/ namespace so sweeps and the service surface them — and the
+// per-shard slots sum under one name, keeping totals shard-count-blind.
 func TestPolicyDescribeMetrics(t *testing.T) {
 	p := &profiledPolicy{}
-	p.circuitReqs, p.packetReqs, p.demotions = 7, 3, 1
+	p.sizeShards(2)
+	p.circuitReqs[0], p.circuitReqs[1] = 4, 3
+	p.packetReqs[0], p.packetReqs[1] = 1, 2
+	p.demotions = 1
 	reg := sim.NewRegistry()
 	p.DescribeMetrics(reg)
 	for name, want := range map[string]int64{
@@ -231,7 +240,7 @@ func TestPolicyDescribeMetrics(t *testing.T) {
 	}
 
 	d := &dynVCPolicy{}
-	d.grows, d.shrinks = 5, 2
+	d.grows, d.shrinks = []int64{3, 2}, []int64{1, 1}
 	rd := sim.NewRegistry()
 	d.DescribeMetrics(rd)
 	if rd.Value("circ/dynvc_grows") != 5 || rd.Value("circ/dynvc_shrinks") != 2 {

@@ -59,7 +59,7 @@ func (probePolicy) Reserve(mg *Manager, id mesh.NodeID, msg *noc.Message, in, ou
 		}
 	}
 	if tb.conflict(in, out, 0, noWindow, now) {
-		fail(&mg.Stats.ReserveFailedConflict)
+		fail(&mg.st(id).ReserveFailedConflict)
 		return
 	}
 	e := entry{
@@ -69,11 +69,11 @@ func (probePolicy) Reserve(mg *Manager, id mesh.NodeID, msg *noc.Message, in, ou
 	}
 	ins, ord := tb.insert(in, e, mg.opts.MaxCircuitsPerPort, now)
 	if ins == nil {
-		fail(&mg.Stats.ReserveFailedStorage)
+		fail(&mg.st(id).ReserveFailedStorage)
 		return
 	}
-	mg.noteOrdinal(ord)
-	mg.net.Events().CircuitWrites++
+	mg.noteOrdinal(id, ord)
+	mg.net.EventsAt(id).CircuitWrites++
 }
 
 // Inject implements the probe-setup comparator's injection side: an
@@ -92,20 +92,20 @@ func (probePolicy) Inject(mg *Manager, ni mesh.NodeID, msg *noc.Message, now sim
 	}
 	if !msg.WantCircuit {
 		if !msg.Classified {
-			mg.classify(msg, OutcomeNotEligible)
+			mg.classify(ni, msg, OutcomeNotEligible)
 		}
 		return now
 	}
 	if rec == nil {
-		probe := mg.net.NewMessage()
-		probe.ID = mg.net.NextMsgID()
+		probe := mg.net.NewMessageAt(ni)
+		probe.ID = mg.net.NextMsgIDAt(ni)
 		probe.Src, probe.Dst = ni, msg.Dst
 		probe.VN, probe.Size = noc.VNReply, 1
 		probe.Block = msg.Block
 		probe.WantCircuit = true
 		probe.SetupProbe = true
 		mg.net.NI(ni).SendFront(probe, now)
-		mg.Stats.ProbesSent++
+		mg.st(ni).ProbesSent++
 		mg.regs[ni][key] = &record{key: key, src: ni}
 		return now + 1
 	}
@@ -115,14 +115,14 @@ func (probePolicy) Inject(mg *Manager, ni mesh.NodeID, msg *noc.Message, now sim
 	delete(mg.regs[ni], key)
 	msg.WantCircuit = false
 	if rec.failed {
-		mg.classify(msg, OutcomeFailed)
+		mg.classify(ni, msg, OutcomeFailed)
 		return now
 	}
 	msg.UseCircuit = true
 	msg.CircDest = msg.Dst
 	msg.CircBlock = msg.Block
-	mg.Stats.CircuitsBuilt++
-	mg.classify(msg, OutcomeCircuit)
+	mg.st(ni).CircuitsBuilt++
+	mg.classify(ni, msg, OutcomeCircuit)
 	return now
 }
 
@@ -132,18 +132,24 @@ func (probePolicy) Deliver(mg *Manager, ni mesh.NodeID, msg *noc.Message, now si
 	if !msg.SetupProbe {
 		return false, true
 	}
-	mg.freeWalk(mg.walks[msg])
-	delete(mg.walks, msg)
+	if w, _ := msg.Walk.(*walk); w != nil {
+		msg.Walk = nil
+		mg.freeWalk(ni, w)
+	}
 	// Tell the waiting reply (at the probe's source) how the setup
 	// went — instantaneous here, an optimistic short-cut for the
 	// comparator (a real design needs a confirmation message back).
-	if rec := mg.regs[msg.Src][circKey{dest: msg.Dst, block: msg.Block}]; rec != nil {
-		rec.probeUp = true
-		rec.failed = msg.BuildFailed
-		rec.complete = !msg.BuildFailed
-	}
+	// The source NI's registry belongs to another shard, which may be
+	// inserting into that map right now, so even the lookup is deferred
+	// to the cycle epilogue.
+	mg.deferOp(ni, managerOp{
+		kind:   opProbeUp,
+		src:    msg.Src,
+		key:    circKey{dest: msg.Dst, block: msg.Block},
+		failed: msg.BuildFailed,
+	})
 	// The probe dies here: it exists only to carry the walk.
-	mg.net.FreeMessage(msg)
+	mg.net.FreeMessageAt(ni, msg)
 	return true, false
 }
 
@@ -152,7 +158,7 @@ func (probePolicy) Deliver(mg *Manager, ni mesh.NodeID, msg *noc.Message, now si
 func (probePolicy) Undo(mg *Manager, id mesh.NodeID, tok *noc.UndoToken, in mesh.Dir, now sim.Cycle) (mesh.Dir, bool) {
 	for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
 		if e := mg.tables[id].clear(d, tok.Dest, tok.Block, now); e != nil {
-			mg.net.Events().CircuitWrites++
+			mg.net.EventsAt(id).CircuitWrites++
 			return d, true // continue out of the entry's input side
 		}
 	}

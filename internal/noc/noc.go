@@ -86,6 +86,16 @@ type Message struct {
 	// the network (scrounger continuation legs).
 	Classified bool
 
+	// Walk and Ride carry the circuit layer's per-message context (the
+	// reservation walk a request is building; the borrowed record a
+	// scrounger rides). They live on the message rather than in
+	// manager-side maps so the parallel engine's shards never share a map:
+	// at any cycle at most one router or NI touches a given message.
+	// Both hold pointers the circuit layer type-asserts back; they are
+	// opaque to the NoC.
+	Walk any
+	Ride any
+
 	// LocalHop marks a message whose source and destination tile
 	// coincide: it never traversed the network.
 	LocalHop bool
