@@ -6,6 +6,7 @@ package reactivenoc_test
 
 import (
 	"context"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"reactivenoc/internal/noc"
 	"reactivenoc/internal/serve"
 	"reactivenoc/internal/sim"
+	"reactivenoc/internal/tracefeed"
 	"reactivenoc/internal/workload"
 )
 
@@ -379,6 +381,37 @@ func BenchmarkChipRunParallel(b *testing.B) {
 		spec := chip.DefaultSpec(c, v, w)
 		spec.MeasureOps = 3000
 		spec.Shards = 8
+		r := chip.MustRun(spec)
+		simCycles += r.SimCycles
+		b.ReportMetric(float64(r.Cycles), "cycles")
+	}
+	reportCycleRate(b, simCycles)
+}
+
+// BenchmarkTraceReplay is BenchmarkChipRun driven from a recorded trace
+// instead of the synthetic generator: the setup records one run to a
+// temporary file, the timed loop replays it. Replay is a pre-decoded
+// slice walk, so it must not be slower than synthesis — the CI bench
+// gate pins its sim_cycles/sec and allocs/op alongside the other chip
+// runs.
+func BenchmarkTraceReplay(b *testing.B) {
+	b.ReportAllocs()
+	c := config.Chip16()
+	v, _ := config.ByName("Complete_NoAck")
+	path := filepath.Join(b.TempDir(), "bench.rctf")
+	rec := chip.DefaultSpec(c, v, workload.Micro())
+	rec.MeasureOps = 3000
+	rec.RecordTrace = path
+	chip.MustRun(rec)
+	p, _, err := tracefeed.LoadWorkload(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var simCycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := chip.DefaultSpec(c, v, p)
+		spec.MeasureOps = 3000
 		r := chip.MustRun(spec)
 		simCycles += r.SimCycles
 		b.ReportMetric(float64(r.Cycles), "cycles")

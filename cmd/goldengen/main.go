@@ -9,10 +9,13 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"strings"
 
 	"reactivenoc/internal/chip"
 	"reactivenoc/internal/config"
+	_ "reactivenoc/internal/tracefeed" // registers the adversarial generators
 	"reactivenoc/internal/workload"
 )
 
@@ -23,16 +26,45 @@ var bigVariants = map[string]bool{
 	"Baseline": true, "Complete_NoAck": true, "Reuse_NoAck": true,
 }
 
+// hotspotVariants is the adversarial-generator section: the hotspot rows
+// pin the circuit mechanisms against single-tile contended traffic on the
+// small chip (mirrored sequential-vs-parallel by the golden suite).
+var hotspotVariants = map[string]bool{
+	"Baseline": true, "Reuse_NoAck": true, "Timed_NoAck": true,
+}
+
 func main() {
+	only := flag.String("only", "", "emit only cells whose chip/workload/variant contains this substring")
+	flag.Parse()
+
+	emit := func(c config.Chip, wn string, v config.Variant) {
+		if *only != "" && !strings.Contains(c.Name+"/"+wn+"/"+v.Name, *only) {
+			return
+		}
+		w, ok := workload.ByName(wn)
+		if !ok {
+			panic("unknown workload " + wn)
+		}
+		spec := chip.DefaultSpec(c, v, w)
+		spec.WarmupOps = 600
+		spec.MeasureOps = 2400
+		spec.Seed = 7
+		r, err := chip.Run(spec)
+		if err != nil {
+			panic(err)
+		}
+		total, reqs := r.Msgs.Totals()
+		fmt.Printf("{%q, %q, %q, %d, %d, %d, %d, %.0f, %d, %.0f, %d, %.0f, %d},\n",
+			c.Name, wn, v.Name,
+			r.Cycles, total, reqs,
+			r.Lat.Requests.Network.N(), r.Lat.Requests.Network.Sum(),
+			r.Lat.CircuitReplies.Network.N(), r.Lat.CircuitReplies.Network.Sum(),
+			r.Lat.OtherReplies.Network.N(), r.Lat.OtherReplies.Network.Sum(),
+			r.Events.LinkFlits)
+	}
+
 	for _, c := range []config.Chip{config.Chip16(), config.Chip64(), config.Chip256()} {
 		for _, wn := range []string{"micro", "canneal"} {
-			w, ok := workload.ByName(wn)
-			if !ok {
-				if wn != "micro" {
-					panic("unknown workload " + wn)
-				}
-				w = workload.Micro()
-			}
 			if c.Nodes() > 64 && wn != "micro" {
 				continue
 			}
@@ -40,23 +72,13 @@ func main() {
 				if c.Nodes() > 64 && !bigVariants[v.Name] {
 					continue
 				}
-				spec := chip.DefaultSpec(c, v, w)
-				spec.WarmupOps = 600
-				spec.MeasureOps = 2400
-				spec.Seed = 7
-				r, err := chip.Run(spec)
-				if err != nil {
-					panic(err)
-				}
-				total, reqs := r.Msgs.Totals()
-				fmt.Printf("{%q, %q, %q, %d, %d, %d, %d, %.0f, %d, %.0f, %d, %.0f, %d},\n",
-					c.Name, wn, v.Name,
-					r.Cycles, total, reqs,
-					r.Lat.Requests.Network.N(), r.Lat.Requests.Network.Sum(),
-					r.Lat.CircuitReplies.Network.N(), r.Lat.CircuitReplies.Network.Sum(),
-					r.Lat.OtherReplies.Network.N(), r.Lat.OtherReplies.Network.Sum(),
-					r.Events.LinkFlits)
+				emit(c, wn, v)
 			}
+		}
+	}
+	for _, v := range config.Variants() {
+		if hotspotVariants[v.Name] {
+			emit(config.Chip16(), "hotspot", v)
 		}
 	}
 }

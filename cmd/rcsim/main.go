@@ -5,6 +5,9 @@
 // Usage:
 //
 //	rcsim -chip 64 -variant Complete_NoAck -workload canneal -ops 12000
+//	rcsim -workload hotspot                 # adversarial generator (see -list-workloads)
+//	rcsim -workload micro -record run.rctf  # dump the run as a replayable trace
+//	rcsim -workload trace:run.rctf          # replay it (bit-identical results)
 package main
 
 import (
@@ -20,7 +23,7 @@ import (
 	"reactivenoc/internal/core"
 	"reactivenoc/internal/prof"
 	"reactivenoc/internal/sim"
-	"reactivenoc/internal/workload"
+	"reactivenoc/internal/tracefeed"
 )
 
 func main() {
@@ -31,7 +34,9 @@ func main() {
 		"run the named switching policy's representative variant instead of -variant (see -list-policies)")
 	listPolicies := flag.Bool("list-policies", false, "list every registered switching policy and exit")
 	workloadName := flag.String("workload", "micro",
-		"workload: micro, mix, or a parallel app ("+strings.Join(workload.Names(), ", ")+")")
+		"workload: a built-in profile, an adversarial generator, or trace:<path> (see -list-workloads)")
+	listWorkloads := flag.Bool("list-workloads", false, "list every resolvable workload name and exit")
+	record := flag.String("record", "", "dump the run's instruction streams to this path as a replayable binary trace")
 	ops := flag.Int64("ops", 12000, "measured operations per core")
 	warm := flag.Int64("warmup", 3000, "warm-up operations per core")
 	seed := flag.Uint64("seed", 1, "workload seed")
@@ -51,6 +56,12 @@ func main() {
 
 	if *listPolicies {
 		printPolicies()
+		return
+	}
+	if *listWorkloads {
+		for _, n := range tracefeed.WorkloadNames() {
+			fmt.Println(n)
+		}
 		return
 	}
 
@@ -74,11 +85,9 @@ func main() {
 			fatal("unknown policy %q (have: %s)", *policyName, strings.Join(config.PolicyNames(), ", "))
 		}
 	}
-	var w workload.Profile
-	if *workloadName == "micro" {
-		w = workload.Micro()
-	} else if w, ok = workload.ByName(*workloadName); !ok {
-		fatal("unknown workload %q", *workloadName)
+	w, werr := tracefeed.ResolveWorkload(*workloadName)
+	if werr != nil {
+		fatal("%v", werr)
 	}
 
 	spec := chip.DefaultSpec(c, v, w)
@@ -91,6 +100,7 @@ func main() {
 	spec.NoPool = *nopool
 	spec.Verify = *verifyRun
 	spec.VerifyEvery = sim.Cycle(*verifyEvery)
+	spec.RecordTrace = *record
 	if *shards >= 0 {
 		spec.Shards = *shards
 		if *shards == 0 {
@@ -105,6 +115,9 @@ func main() {
 		fatalRun(err)
 	}
 	report(r)
+	if *record != "" {
+		fmt.Printf("trace:     written to %s (replay with -workload trace:%s)\n", *record, *record)
+	}
 	if *traceN > 0 {
 		fmt.Printf("\nlast %d lifecycle events:\n", len(r.Trace))
 		for _, e := range r.Trace {

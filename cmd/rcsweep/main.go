@@ -49,6 +49,7 @@ import (
 	"reactivenoc/internal/config"
 	"reactivenoc/internal/exp"
 	"reactivenoc/internal/prof"
+	"reactivenoc/internal/tracefeed"
 )
 
 // formatter is what every experiment report implements.
@@ -73,6 +74,9 @@ func run() int {
 	verifyRuns := flag.Bool("verify", false, "arm the online invariant oracles on every run of the sweep")
 	policyName := flag.String("policy", "", "restrict the sweep columns to the named switching policy's variants (see -list-policies)")
 	listPolicies := flag.Bool("list-policies", false, "list every registered switching policy and exit")
+	workloadsFlag := flag.String("workloads", "",
+		"comma-separated workload rows replacing the evaluation suite (built-ins, adversarial generators, trace:<path>; see -list-workloads)")
+	listWorkloads := flag.Bool("list-workloads", false, "list every resolvable workload name and exit")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text tables")
 	mdOut := flag.Bool("md", false, "emit the full evaluation as a markdown report (implies -exp all)")
 	profiles := prof.Flags("trace")
@@ -93,6 +97,12 @@ func run() int {
 				cols = append(cols, v.Name)
 			}
 			fmt.Printf("%-16s sweep columns: %s\n", name, strings.Join(cols, ", "))
+		}
+		return 0
+	}
+	if *listWorkloads {
+		for _, n := range tracefeed.WorkloadNames() {
+			fmt.Println(n)
 		}
 		return 0
 	}
@@ -128,6 +138,16 @@ func run() int {
 	}
 	scale.Seed = *seed
 	scale.Workers = *workers
+	if *workloadsFlag != "" {
+		for _, name := range strings.Split(*workloadsFlag, ",") {
+			p, err := tracefeed.ResolveWorkload(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rcsweep: %v\n", err)
+				return 1
+			}
+			scale.Profiles = append(scale.Profiles, p)
+		}
+	}
 
 	pol := exp.DefaultPolicy()
 	pol.Timeout = *timeout

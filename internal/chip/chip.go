@@ -24,6 +24,7 @@ import (
 	"reactivenoc/internal/power"
 	"reactivenoc/internal/sim"
 	"reactivenoc/internal/trace"
+	"reactivenoc/internal/tracefeed"
 	"reactivenoc/internal/verify"
 	"reactivenoc/internal/workload"
 )
@@ -105,6 +106,13 @@ type Spec struct {
 	// the reference allocation behaviour the pooled hot path is
 	// cross-checked against. Results are bit-identical either way.
 	NoPool bool
+
+	// RecordTrace, when set, dumps the run's per-core instruction streams
+	// to this path as a replayable binary trace (internal/tracefeed). The
+	// recorder is purely passive — a recorded run is bit-identical to an
+	// unrecorded one — so the knob is an observer like OnSample, excluded
+	// from Fingerprint (json:"-"): result caches never split on it.
+	RecordTrace string `json:"-"`
 }
 
 // DefaultSpec returns a spec with sane defaults for the given chip,
@@ -263,6 +271,9 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 	if spec.MeasureOps <= 0 {
 		return nil, fmt.Errorf("chip: MeasureOps must be positive")
 	}
+	if verr := spec.Workload.Validate(); verr != nil {
+		return nil, fmt.Errorf("chip: %w", verr)
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -312,11 +323,43 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 	sys = coherence.NewSystem(m, opts, spec.Chip.MCs)
 	n := m.Nodes()
 
+	// A trace-driven workload replays a recorded run: the file supplies
+	// the prefill regions and each core's exact operation sequence, and
+	// the spec's phase budgets must match the recording's or the cores'
+	// retirement limits would slice the stream differently.
+	var feed *tracefeed.Trace
+	if spec.Workload.TracePath != "" {
+		var crc uint32
+		var ferr error
+		feed, crc, ferr = tracefeed.Load(spec.Workload.TracePath)
+		if ferr != nil {
+			return nil, fmt.Errorf("chip: %w", ferr)
+		}
+		if spec.Workload.TraceCRC != 0 && spec.Workload.TraceCRC != crc {
+			return nil, fmt.Errorf("chip: trace %s has CRC %08x, spec pinned %08x",
+				spec.Workload.TracePath, crc, spec.Workload.TraceCRC)
+		}
+		if feed.Cores() != n {
+			return nil, fmt.Errorf("chip: trace %s recorded %d cores, chip %s has %d",
+				spec.Workload.TracePath, feed.Cores(), spec.Chip.Name, n)
+		}
+		if feed.WarmupOps != spec.WarmupOps || feed.MeasureOps != spec.MeasureOps {
+			return nil, fmt.Errorf("chip: trace %s recorded %d+%d ops/core, spec asks %d+%d",
+				spec.Workload.TracePath, feed.WarmupOps, feed.MeasureOps, spec.WarmupOps, spec.MeasureOps)
+		}
+	}
+	coreRegions := func(i int) []workload.Region {
+		if feed != nil {
+			return feed.CoreRegions(i)
+		}
+		return spec.Workload.Regions(i)
+	}
+
 	// Functional cache warming (the paper warms for 200M cycles): every
 	// region each core touches is installed in its home L2 bank, and the
 	// hot private region in the core's L1.
 	for i := 0; i < n; i++ {
-		for _, reg := range spec.Workload.Regions(i) {
+		for _, reg := range coreRegions(i) {
 			for l := 0; l < reg.Lines; l++ {
 				tile := mesh.NodeID(-1)
 				if l < reg.L1Lines {
@@ -363,16 +406,32 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 	// of an O(cores) scan every cycle; sys.Busy() (which walks the whole
 	// machine) only runs in the drain tail after the last core finishes —
 	// exactly when the seed engine's short-circuited allDone() reached it.
+	// The trace recorder, like the replayer, keeps all state per-core, so
+	// neither forces the sequential engine: a core is only ever ticked by
+	// its own shard worker.
+	var recorder *tracefeed.Recorder
+	if spec.RecordTrace != "" {
+		recorder = tracefeed.NewRecorder(spec.Workload, n, spec.Seed, spec.WarmupOps, spec.MeasureOps)
+	}
+
 	doneBy := make([]int64, shards)
 	cores := make([]*cpu.Core, n)
 	coreWakers := make([]sim.Waker, n)
 	for i := 0; i < n; i++ {
-		st := spec.Workload.Stream(i, spec.Seed)
+		var st cpu.Stream
+		if feed != nil {
+			st = feed.Stream(i)
+		} else {
+			st = spec.Workload.StreamGeom(i, m.Width, m.Height, spec.Seed)
+		}
 		limit := spec.WarmupOps
 		if limit <= 0 {
 			limit = spec.MeasureOps
 		}
 		cores[i] = cpu.New(i, sys.L1s[i], st, limit)
+		if recorder != nil {
+			cores[i].SetRecorder(recorder)
+		}
 		s := m.ShardOf(mesh.NodeID(i), shards)
 		cores[i].SetDoneSink(func() { doneBy[s]++ })
 	}
@@ -588,6 +647,11 @@ func RunCtx(ctx context.Context, spec Spec) (res *Results, err error) {
 	}
 	if inj != nil {
 		res.Faults = inj.Events()
+	}
+	if recorder != nil {
+		if _, werr := recorder.Trace().WriteFile(spec.RecordTrace); werr != nil {
+			return nil, fmt.Errorf("chip: writing trace: %w", werr)
+		}
 	}
 	return res, nil
 }

@@ -82,6 +82,13 @@ var goldenMatrix = []goldenRow{
 	{"256-core", "micro", "Baseline", 8194, 11727, 4599, 4599, 282835, 2810, 184957, 4318, 266410, 308349},
 	{"256-core", "micro", "Complete_NoAck", 8202, 10641, 4590, 4590, 283822, 2796, 146464, 4310, 209236, 295487},
 	{"256-core", "micro", "Reuse_NoAck", 7849, 10643, 4593, 4593, 284106, 2797, 145123, 4310, 207213, 295680},
+	// Adversarial-generator rows (internal/tracefeed): single-tile hotspot
+	// traffic on the small chip. Note the ordering flip vs the stationary
+	// profiles — Timed_NoAck loses to Baseline here (the contended tile's
+	// windows keep expiring) while Reuse wins big.
+	{"16-core", "hotspot", "Baseline", 5262, 1982, 791, 791, 14427, 443, 9492, 748, 13901, 13147},
+	{"16-core", "hotspot", "Reuse_NoAck", 4939, 1621, 792, 792, 15229, 444, 5646, 747, 7575, 12085},
+	{"16-core", "hotspot", "Timed_NoAck", 5321, 1973, 787, 787, 14594, 442, 8335, 744, 14320, 13093},
 }
 
 func goldenSpec(row goldenRow, t *testing.T) Spec {
@@ -225,10 +232,16 @@ func TestPooledMatchesUnpooled(t *testing.T) {
 }
 
 // parallelRows selects the cells the sharded-engine cross-check runs: the
-// usual tricky cells plus (outside -short) every 256-core row — the scale
-// the parallel engine exists for.
+// usual tricky cells, every hotspot row (adversarial traffic concentrates
+// on one tile, the worst case for shard-boundary traffic), plus (outside
+// -short) every 256-core row — the scale the parallel engine exists for.
 func parallelRows() []int {
 	rows := crossCheckRows()
+	for i, row := range goldenMatrix {
+		if row.workload == "hotspot" {
+			rows = append(rows, i)
+		}
+	}
 	if !testing.Short() {
 		for i, row := range goldenMatrix {
 			if row.chip == "256-core" {

@@ -107,6 +107,39 @@ func SweepVariants() []Variant {
 	return append(Variants(), PolicyVariants()...)
 }
 
+// TuneGrid returns the candidate grid the closed-loop tuner (cmd/rctune)
+// sweeps per workload: the Baseline and Reuse anchors plus the timed
+// family across its Slack/Postponed knob range — including Slack_8 and
+// Postponed_2 points beyond the paper's figures, so the per-app optimum
+// can land outside the published inventory.
+func TuneGrid() []Variant {
+	mk := func(name string, mod func(*core.Options)) Variant {
+		o := completeBase()
+		o.NoAck = true
+		mod(&o)
+		if err := o.Validate(); err != nil {
+			panic(fmt.Sprintf("config: variant %s invalid: %v", name, err))
+		}
+		return Variant{Name: name, Opts: o}
+	}
+	return []Variant{
+		{Name: "Baseline", Opts: core.Options{}},
+		mk("Reuse_NoAck", func(o *core.Options) { o.Reuse = true }),
+		mk("Timed_NoAck", func(o *core.Options) { o.Timed = true }),
+		mk("Slack_1_NoAck", func(o *core.Options) { o.Timed = true; o.SlackPerHop = 1 }),
+		mk("Slack_2_NoAck", func(o *core.Options) { o.Timed = true; o.SlackPerHop = 2 }),
+		mk("Slack_4_NoAck", func(o *core.Options) { o.Timed = true; o.SlackPerHop = 4 }),
+		mk("Slack_8_NoAck", func(o *core.Options) { o.Timed = true; o.SlackPerHop = 8 }),
+		mk("SlackDelay_1_NoAck", func(o *core.Options) {
+			o.Timed = true
+			o.SlackPerHop = 1
+			o.DelayPerHop = 1
+		}),
+		mk("Postponed_1_NoAck", func(o *core.Options) { o.Timed = true; o.PostponePerHop = 1 }),
+		mk("Postponed_2_NoAck", func(o *core.Options) { o.Timed = true; o.PostponePerHop = 2 }),
+	}
+}
+
 // The variant registry is built once: every preset from Variants,
 // PolicyVariants and Comparators, keyed by name (first registration wins
 // for the duplicated entries).
@@ -120,6 +153,7 @@ func registry() map[string]Variant {
 	regOnce.Do(func() {
 		regMap = map[string]Variant{}
 		all := append(append(Variants(), PolicyVariants()...), Comparators()...)
+		all = append(all, TuneGrid()...)
 		for _, v := range all {
 			if _, dup := regMap[v.Name]; dup {
 				continue

@@ -35,6 +35,15 @@ type Stream interface {
 	Next() Op
 }
 
+// Recorder observes every operation a core consumes from its stream, at
+// the cycle it is issued — the tap point the trace recorder
+// (internal/tracefeed) hangs off. Implementations must confine per-call
+// state to the given core: cores on different shards of the parallel
+// engine record concurrently.
+type Recorder interface {
+	Record(core int, now sim.Cycle, op Op)
+}
+
 // Core is one in-order processor bound to its private L1.
 type Core struct {
 	id     int
@@ -44,6 +53,11 @@ type Core struct {
 
 	stalled bool
 	done    bool
+
+	// recorder, when non-nil, observes each issued operation. Purely
+	// passive: it never changes what the core does, so a recorded run is
+	// bit-identical to an unrecorded one.
+	recorder Recorder
 
 	// doneSink fires once when the core retires its last operation; the
 	// chip layer counts completions there instead of scanning every core
@@ -74,6 +88,9 @@ func (c *Core) Done() bool { return c.done }
 
 // SetDoneSink installs a callback invoked exactly once per done-transition.
 func (c *Core) SetDoneSink(fn func()) { c.doneSink = fn }
+
+// SetRecorder attaches a passive operation recorder to the core.
+func (c *Core) SetRecorder(r Recorder) { c.recorder = r }
 
 // Quiescent reports whether the core's next Tick is a pure no-op. Only a
 // finished core sleeps: a stalled core burns a StallCycles counter every
@@ -125,6 +142,9 @@ func (c *Core) Tick(now sim.Cycle) {
 		return
 	}
 	op := c.stream.Next()
+	if c.recorder != nil {
+		c.recorder.Record(c.id, now, op)
+	}
 	switch op.Kind {
 	case OpCompute:
 		c.retire(now)

@@ -127,3 +127,71 @@ func TestDoneCoreIgnoresTicks(t *testing.T) {
 		t.Fatalf("done core kept retiring: %d", c.Retired)
 	}
 }
+
+// opLog records every operation the core consumes, with its cycle.
+type opLog struct {
+	cores  []int
+	cycles []sim.Cycle
+	ops    []Op
+}
+
+func (l *opLog) Record(core int, now sim.Cycle, op Op) {
+	l.cores = append(l.cores, core)
+	l.cycles = append(l.cycles, now)
+	l.ops = append(l.ops, op)
+}
+
+func TestRecorderSeesEveryConsumedOp(t *testing.T) {
+	sys, k := testSystem(t)
+	st := &scriptStream{ops: []Op{
+		{Kind: OpCompute},
+		{Kind: OpLoad, Addr: 3 * 64},  // remote bank: a real miss, stalls
+		{Kind: OpStore, Addr: 3 * 64}, // now cached: hits
+	}}
+	c := New(7, sys.L1s[0], st, 4)
+	rec := &opLog{}
+	c.SetRecorder(rec)
+	done := 0
+	c.SetDoneSink(func() { done++ })
+	reg := sim.NewRegistry()
+	c.Describe(reg)
+	k.Register(tickOne{c})
+	k.RunUntil(func() bool { return c.Done() }, 10000)
+	if !c.Done() {
+		t.Fatalf("core never finished (retired %d)", c.Retired)
+	}
+	if !c.Quiescent() {
+		t.Fatal("done core must be quiescent")
+	}
+	if done != 1 {
+		t.Fatalf("done sink fired %d times, want exactly 1", done)
+	}
+	// The recorder saw one entry per consumed op — the stall cycles the
+	// miss burned consume nothing and record nothing.
+	if len(rec.ops) != 4 {
+		t.Fatalf("recorded %d ops, want 4: %+v", len(rec.ops), rec.ops)
+	}
+	if int64(len(rec.ops)) != c.Retired {
+		t.Fatalf("recorded %d ops but retired %d", len(rec.ops), c.Retired)
+	}
+	want := []OpKind{OpCompute, OpLoad, OpStore, OpCompute}
+	for i, k := range want {
+		if rec.ops[i].Kind != k {
+			t.Fatalf("op %d kind %v, want %v", i, rec.ops[i].Kind, k)
+		}
+		if rec.cores[i] != 7 {
+			t.Fatalf("op %d recorded for core %d, want 7", i, rec.cores[i])
+		}
+	}
+	if c.StallCycles == 0 {
+		t.Fatal("the remote-bank load should have stalled")
+	}
+	for i := 1; i < len(rec.cycles); i++ {
+		if rec.cycles[i] <= rec.cycles[i-1] {
+			t.Fatalf("recorded cycles not increasing: %v", rec.cycles)
+		}
+	}
+	if got := reg.Snapshot(k.Now()).Value("core/retired"); got != c.Retired {
+		t.Fatalf("registry sees %d retired, core says %d", got, c.Retired)
+	}
+}

@@ -28,6 +28,11 @@ type Scale struct {
 	Seed uint64
 	// Workers caps the concurrent runs (0 = runtime.GOMAXPROCS(0)).
 	Workers int
+	// Profiles, when non-empty, replaces the evaluation's workload list
+	// entirely (Apps is ignored): the seam the closed-loop tuner and
+	// rcsweep -workloads use to sweep adversarial generators or trace
+	// replays instead of the paper's apps.
+	Profiles []workload.Profile
 }
 
 // WorkerCount resolves the sweep's concurrency: Workers when positive,
@@ -54,6 +59,9 @@ func FullScale() Scale { return Scale{MeasureOps: 12000, Apps: 0, Seed: 1} }
 // Workloads returns the evaluation's workload list under the scale cap:
 // the parallel applications plus the multiprogrammed mix.
 func (s Scale) Workloads() []workload.Profile {
+	if len(s.Profiles) > 0 {
+		return s.Profiles
+	}
 	apps := workload.Parallel()
 	if s.Apps > 0 && s.Apps-1 < len(apps) {
 		apps = apps[:s.Apps-1]

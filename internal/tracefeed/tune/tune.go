@@ -1,0 +1,181 @@
+// Package tune is the closed-loop parameter tuner: it sweeps a grid of
+// mechanism variants (config.TuneGrid — the Slack/Postponed knob range
+// plus the Baseline and Reuse anchors) across a set of workloads via the
+// exp sweep machinery, and reports the per-app optimum. Run against the
+// adversarial generator suite it extends the paper's figures into the
+// regimes where profile-based tuning degrades: the hotspot row flips the
+// Baseline-vs-Timed ordering the stationary profiles show.
+package tune
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"reactivenoc/internal/chip"
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/core"
+	"reactivenoc/internal/exp"
+	"reactivenoc/internal/sim"
+	"reactivenoc/internal/tracefeed"
+	"reactivenoc/internal/workload"
+)
+
+// Config parameterizes one tuning campaign.
+type Config struct {
+	Chip config.Chip
+	// Variants is the candidate grid (nil = config.TuneGrid()).
+	Variants []config.Variant
+	// Workloads is the application list (nil = DefaultWorkloads()).
+	Workloads []workload.Profile
+	// MeasureOps per core per run (0 = 4000).
+	MeasureOps int64
+	Seed       uint64
+	// Workers caps concurrent runs (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultWorkloads returns the tuner's standard application list: three
+// stationary anchors (micro, canneal, mix) followed by the adversarial
+// generator suite, so every report contrasts the regimes directly.
+func DefaultWorkloads() []workload.Profile {
+	anchors := []workload.Profile{workload.Micro()}
+	if p, ok := workload.ByName("canneal"); ok {
+		anchors = append(anchors, p)
+	}
+	anchors = append(anchors, workload.Multiprogrammed())
+	return append(anchors, tracefeed.Generators()...)
+}
+
+// Pick is one workload's tuning outcome.
+type Pick struct {
+	Workload string
+	// Best names the grid variant with the fewest measured cycles;
+	// Speedup is Baseline cycles over Best cycles.
+	Best       string
+	BestCycles sim.Cycle
+	Speedup    float64
+	// BaselineCycles and TimedCycles anchor the ordering comparison:
+	// TimedDelta is (Timed - Baseline) / Baseline — negative when the
+	// plain timed-window predictor beats the baseline, positive when the
+	// workload defeats it.
+	BaselineCycles sim.Cycle
+	TimedCycles    sim.Cycle
+	TimedDelta     float64
+	// BestCircuitHit and TimedCircuitHit are the share of replies that
+	// rode their own circuit (Figure 6's CIRCUIT outcome) under the best
+	// and plain-timed variants.
+	BestCircuitHit  float64
+	TimedCircuitHit float64
+}
+
+// Report is a finished tuning campaign.
+type Report struct {
+	Chip  config.Chip
+	Scale exp.Scale
+	Sweep *exp.Sweep
+	// Picks holds one row per workload, in campaign order.
+	Picks []Pick
+}
+
+// Run executes the campaign: one sweep over (variants x workloads), then
+// a per-workload argmin. Failed runs leave their cells out of the argmin
+// (the sweep policy retries and survives them); a workload with no
+// surviving cells is skipped.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	variants := cfg.Variants
+	if len(variants) == 0 {
+		variants = config.TuneGrid()
+	}
+	workloads := cfg.Workloads
+	if len(workloads) == 0 {
+		workloads = DefaultWorkloads()
+	}
+	measure := cfg.MeasureOps
+	if measure <= 0 {
+		measure = 4000
+	}
+	scale := exp.Scale{
+		MeasureOps: measure,
+		Seed:       cfg.Seed,
+		Workers:    cfg.Workers,
+		Profiles:   workloads,
+	}
+	sweep := exp.RunSweepCtx(ctx, cfg.Chip, variants, scale, exp.DefaultPolicy())
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	rep := &Report{Chip: cfg.Chip, Scale: scale, Sweep: sweep}
+	circuitHit := func(r *chip.Results) float64 {
+		if r == nil || r.Circ == nil {
+			return 0
+		}
+		return r.Circ.OutcomeFraction(core.OutcomeCircuit)
+	}
+	for _, w := range workloads {
+		pick := Pick{Workload: w.Name}
+		for _, v := range variants {
+			r := sweep.Res[v.Name][w.Name]
+			if r == nil {
+				continue
+			}
+			if pick.Best == "" || r.Cycles < pick.BestCycles {
+				pick.Best, pick.BestCycles = v.Name, r.Cycles
+				pick.BestCircuitHit = circuitHit(r)
+			}
+			switch v.Name {
+			case "Baseline":
+				pick.BaselineCycles = r.Cycles
+			case "Timed_NoAck":
+				pick.TimedCycles = r.Cycles
+				pick.TimedCircuitHit = circuitHit(r)
+			}
+		}
+		if pick.Best == "" {
+			continue // every cell failed; the sweep's Failures has the story
+		}
+		if pick.BaselineCycles > 0 {
+			pick.Speedup = float64(pick.BaselineCycles) / float64(pick.BestCycles)
+			if pick.TimedCycles > 0 {
+				pick.TimedDelta = float64(pick.TimedCycles-pick.BaselineCycles) / float64(pick.BaselineCycles)
+			}
+		}
+		rep.Picks = append(rep.Picks, pick)
+	}
+	if len(rep.Picks) == 0 {
+		return nil, fmt.Errorf("tune: every run failed\n%s", sweep.FailureSummary())
+	}
+	return rep, nil
+}
+
+// Markdown renders the campaign as the EXPERIMENTS.md table: one row per
+// workload with its optimum, the Baseline-vs-Timed ordering signal and
+// the circuit-hit rates.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| workload | best variant | cycles | speedup vs Baseline | Timed vs Baseline | circuit-hit (best) | circuit-hit (Timed) |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|\n")
+	for _, p := range r.Picks {
+		fmt.Fprintf(&b, "| %s | %s | %d | %.3fx | %+.1f%% | %.1f%% | %.1f%% |\n",
+			p.Workload, p.Best, p.BestCycles, p.Speedup,
+			p.TimedDelta*100, p.BestCircuitHit*100, p.TimedCircuitHit*100)
+	}
+	return b.String()
+}
+
+// Text renders the campaign as a fixed-width table for the terminal.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-20s %9s %9s %9s %11s %11s\n",
+		"workload", "best", "cycles", "speedup", "timedΔ", "hit(best)", "hit(timed)")
+	for _, p := range r.Picks {
+		fmt.Fprintf(&b, "%-14s %-20s %9d %8.3fx %+8.1f%% %10.1f%% %10.1f%%\n",
+			p.Workload, p.Best, p.BestCycles, p.Speedup,
+			p.TimedDelta*100, p.BestCircuitHit*100, p.TimedCircuitHit*100)
+	}
+	if fs := r.Sweep.FailureSummary(); fs != "" {
+		b.WriteString("\nfailures:\n")
+		b.WriteString(fs)
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package tune
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"reactivenoc/internal/config"
+	"reactivenoc/internal/exp"
+	"reactivenoc/internal/tracefeed"
+	"reactivenoc/internal/workload"
+)
+
+func TestTuneSmallCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning campaign is a multi-run sweep")
+	}
+	cfg := Config{
+		Chip: config.Chip16(),
+		Variants: []config.Variant{
+			config.TuneGrid()[0], // Baseline
+			config.TuneGrid()[1], // Reuse_NoAck
+			config.TuneGrid()[2], // Timed_NoAck
+		},
+		Workloads:  []workload.Profile{workload.Micro(), tracefeed.Hotspot()},
+		MeasureOps: 2000,
+		Seed:       7,
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Picks) != 2 {
+		t.Fatalf("%d picks, want 2", len(rep.Picks))
+	}
+	for _, p := range rep.Picks {
+		if p.Best == "" || p.BestCycles <= 0 {
+			t.Errorf("%s: empty pick %+v", p.Workload, p)
+		}
+		if p.BaselineCycles <= 0 || p.TimedCycles <= 0 {
+			t.Errorf("%s: missing anchor cycles %+v", p.Workload, p)
+		}
+		if p.Speedup < 1.0 {
+			// Baseline is in the grid, so the best variant can never lose
+			// to it.
+			t.Errorf("%s: best variant slower than Baseline (%+v)", p.Workload, p)
+		}
+	}
+	md := rep.Markdown()
+	for _, want := range []string{"micro", "hotspot", "| workload |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	if txt := rep.Text(); !strings.Contains(txt, "hotspot") {
+		t.Errorf("text table missing hotspot:\n%s", txt)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{
+		Sweep: &exp.Sweep{},
+		Picks: []Pick{
+			{Workload: "micro", Best: "Timed_NoAck", BestCycles: 4100,
+				Speedup: 1.210, BaselineCycles: 4961, TimedCycles: 4100,
+				TimedDelta: -0.174, BestCircuitHit: 0.31, TimedCircuitHit: 0.31},
+			{Workload: "hotspot", Best: "Reuse_NoAck", BestCycles: 4939,
+				Speedup: 1.065, BaselineCycles: 5262, TimedCycles: 5321,
+				TimedDelta: 0.011, BestCircuitHit: 0.28, TimedCircuitHit: 0.19},
+		},
+	}
+	md := rep.Markdown()
+	for _, want := range []string{
+		"| workload |", "| micro | Timed_NoAck | 4100 | 1.210x | -17.4% |",
+		"| hotspot | Reuse_NoAck | 4939 | 1.065x | +1.1% |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	txt := rep.Text()
+	for _, want := range []string{"workload", "micro", "hotspot", "Reuse_NoAck"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("text missing %q:\n%s", want, txt)
+		}
+	}
+	if strings.Contains(txt, "failures:") {
+		t.Errorf("clean report should not list failures:\n%s", txt)
+	}
+}
+
+func TestTuneGridValid(t *testing.T) {
+	grid := config.TuneGrid()
+	if len(grid) < 8 {
+		t.Fatalf("tuning grid has only %d variants", len(grid))
+	}
+	seen := map[string]bool{}
+	for _, v := range grid {
+		if seen[v.Name] {
+			t.Errorf("duplicate grid variant %s", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	for _, want := range []string{"Baseline", "Timed_NoAck", "Slack_8_NoAck", "Postponed_2_NoAck"} {
+		if !seen[want] {
+			t.Errorf("grid missing %s", want)
+		}
+	}
+	// The beyond-the-paper grid points resolve through the registry too
+	// (rcsim -variant Slack_8_NoAck).
+	if _, ok := config.ByName("Slack_8_NoAck"); !ok {
+		t.Error("Slack_8_NoAck not in the variant registry")
+	}
+}
+
+func TestDefaultWorkloadsContrastRegimes(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range DefaultWorkloads() {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"micro", "canneal", "mix", "hotspot", "transpose", "tornado", "onoff", "phased"} {
+		if !names[want] {
+			t.Errorf("default campaign missing %s", want)
+		}
+	}
+}

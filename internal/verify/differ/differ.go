@@ -19,6 +19,7 @@ import (
 	"reactivenoc/internal/config"
 	"reactivenoc/internal/sim"
 	"reactivenoc/internal/stats"
+	"reactivenoc/internal/tracefeed"
 	"reactivenoc/internal/workload"
 )
 
@@ -58,10 +59,24 @@ func SpecFromSeed(seed uint64) chip.Spec {
 		warm, meas = 150, 400+int64(rng.Intn(400))
 	}
 
+	simSeed := rng.Uint64()%1_000_000 + 1
+
+	// Adversarial-generator columns: ~1 in 4 seeds swaps the workload for
+	// one of the registered generators (hotspot, transpose, tornado,
+	// on/off bursts, phase-changing mixes), whose destination patterns and
+	// burst windows exercise spec space the stationary profiles never
+	// reach. The draws are appended after every pre-existing one so a
+	// corpus seed from before this column derives the same chip, variant,
+	// scale and simulation seed as it always did.
+	if rng.Intn(4) == 0 {
+		gens := tracefeed.Generators()
+		w = gens[rng.Intn(len(gens))]
+	}
+
 	return chip.Spec{
 		Chip: c, Variant: v, Workload: w,
 		WarmupOps: warm, MeasureOps: meas,
-		Seed:  rng.Uint64()%1_000_000 + 1,
+		Seed:  simSeed,
 		Audit: true, Verify: true, VerifyEvery: 16,
 	}
 }

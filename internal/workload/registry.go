@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"reactivenoc/internal/cache"
+)
+
+// The generator registry holds profiles registered by other packages —
+// the adversarial/bursty suite in internal/tracefeed — so they resolve
+// through ByName exactly like the built-in evaluation workloads and can be
+// named by PhaseNext chains, sweep columns and CLI flags.
+var registryState struct {
+	mu     sync.Mutex
+	byName map[string]Profile
+	order  []string
+}
+
+// Register adds a generator profile to the workload registry under its
+// Name. Registration is how the adversarial generators become first-class
+// workload names: they appear in ByName, GeneratorNames and therefore in
+// -workload flags, sweep columns and differ specs. Re-registering a name
+// replaces the previous profile (tests overwrite freely); an empty name or
+// a name colliding with a built-in workload panics — the built-in
+// inventory is the paper's and stays authoritative.
+func Register(p Profile) {
+	if p.Name == "" {
+		panic("workload: registering a nameless profile")
+	}
+	if p.Name == "micro" || p.Name == "mix" || builtinByName(p.Name) {
+		panic(fmt.Sprintf("workload: %q is a built-in workload name", p.Name))
+	}
+	registryState.mu.Lock()
+	defer registryState.mu.Unlock()
+	if registryState.byName == nil {
+		registryState.byName = map[string]Profile{}
+	}
+	if _, seen := registryState.byName[p.Name]; !seen {
+		registryState.order = append(registryState.order, p.Name)
+	}
+	registryState.byName[p.Name] = p
+}
+
+// registered looks a name up in the generator registry.
+func registered(name string) (Profile, bool) {
+	registryState.mu.Lock()
+	defer registryState.mu.Unlock()
+	p, ok := registryState.byName[name]
+	return p, ok
+}
+
+// GeneratorNames lists every registered generator profile, in
+// registration order.
+func GeneratorNames() []string {
+	registryState.mu.Lock()
+	defer registryState.mu.Unlock()
+	return append([]string(nil), registryState.order...)
+}
+
+// builtinByName reports whether name is one of the paper's parallel apps.
+func builtinByName(name string) bool {
+	for _, p := range parallelProfiles() {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RegionClass labels which of a profile's regions an address falls in —
+// the address-region field of a trace record. The numeric values are part
+// of the binary trace format (internal/tracefeed) and must not be
+// reordered.
+type RegionClass uint8
+
+const (
+	// RegionNone marks compute operations (no address).
+	RegionNone RegionClass = iota
+	// RegionHot is the L1-resident private region.
+	RegionHot
+	// RegionStream is the L2-resident streaming region.
+	RegionStream
+	// RegionCold is the never-warm region that reaches memory.
+	RegionCold
+	// RegionShared is the globally shared region.
+	RegionShared
+	// RegionOther is anything the profile does not claim (trace replays,
+	// foreign address spaces).
+	RegionOther
+)
+
+// String names the class for diagnostics.
+func (rc RegionClass) String() string {
+	switch rc {
+	case RegionNone:
+		return "none"
+	case RegionHot:
+		return "hot"
+	case RegionStream:
+		return "stream"
+	case RegionCold:
+		return "cold"
+	case RegionShared:
+		return "shared"
+	default:
+		return "other"
+	}
+}
+
+// Classify maps an address of core coreID's stream onto the region it
+// belongs to, plus a sharer hint (how widely the line is expected to be
+// shared: 0 = private, 1 = read-shared region, 2 = contended shared-hot
+// eighth). The trace recorder stores both with every record so a trace is
+// analyzable without the profile that produced it.
+func (p Profile) Classify(coreID int, a cache.Addr) (RegionClass, uint8) {
+	if a >= sharedBase {
+		hot := p.SharedLines / 8
+		if hot < 1 {
+			hot = 1
+		}
+		if a < sharedBase+cache.Addr(hot)*lineBytes {
+			return RegionShared, 2
+		}
+		return RegionShared, 1
+	}
+	inRegion := func(base cache.Addr, lines int) bool {
+		return lines > 0 && a >= base && a < base+cache.Addr(lines)*lineBytes
+	}
+	switch {
+	case inRegion(hotBase(coreID), p.HotLines):
+		return RegionHot, 0
+	case inRegion(streamBase(coreID), p.StreamLines):
+		return RegionStream, 0
+	case inRegion(coldBase(coreID), p.ColdLines):
+		return RegionCold, 0
+	}
+	return RegionOther, 0
+}

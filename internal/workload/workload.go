@@ -22,6 +22,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"reactivenoc/internal/cache"
 	"reactivenoc/internal/cpu"
@@ -64,19 +65,88 @@ type Profile struct {
 	// Locality is the probability a hot-region access continues the
 	// sequential walk rather than jumping randomly within the region.
 	Locality float64
+
+	// The fields below parameterize the adversarial/bursty generators
+	// (internal/tracefeed) and trace replay. They are zero for the classic
+	// stationary profiles, and every JSON tag carries omitempty so the
+	// encodings — and therefore the spec fingerprints — of pre-existing
+	// workloads are byte-identical to what they were before these knobs.
+
+	// Pattern remaps shared-region accesses onto an adversarial
+	// destination pattern: "" keeps the profile-driven uniform choice;
+	// PatternHotspot funnels every shared access to lines homed on one
+	// central tile; PatternTranspose sends core (x,y)'s shared accesses to
+	// lines homed on (y,x); PatternTornado targets the tile halfway around
+	// the row. Patterns need the mesh geometry, which reaches the stream
+	// through StreamGeom; a geometry-less Stream ignores the pattern.
+	Pattern string `json:",omitempty"`
+
+	// BurstOn/BurstOff, when both positive, chop the instruction stream
+	// into on/off windows of that many operations: during an off window
+	// the core only computes, so the network sees bursts with a duty cycle
+	// of BurstOn/(BurstOn+BurstOff).
+	BurstOn  int64 `json:",omitempty"`
+	BurstOff int64 `json:",omitempty"`
+
+	// PhaseOps/PhaseNext switch the stream to the registered profile
+	// named PhaseNext after PhaseOps operations — the phase-changing mixes
+	// that stress the timed-window predictor. Chains may loop (A→B→A);
+	// cursors reset at each switch while the RNG carries over, so the
+	// whole run stays deterministic.
+	PhaseOps  int64  `json:",omitempty"`
+	PhaseNext string `json:",omitempty"`
+
+	// TracePath, when set, drives the cores from a recorded binary trace
+	// (internal/tracefeed) instead of the synthetic generator; the other
+	// traffic knobs must be zero. TraceCRC pins the file's payload
+	// checksum so two different traces at the same path never alias in the
+	// spec fingerprint or a result cache.
+	TracePath string `json:",omitempty"`
+	TraceCRC  uint32 `json:",omitempty"`
 }
 
-// Validate rejects nonsensical profiles.
+// Destination patterns accepted by Profile.Pattern.
+const (
+	PatternHotspot   = "hotspot"
+	PatternTranspose = "transpose"
+	PatternTornado   = "tornado"
+)
+
+// Validate rejects nonsensical profiles: out-of-range, NaN or infinite
+// shares, patterns without a shared region, degenerate burst windows, and
+// unresolvable or out-of-range phase switches. It runs at spec build (and
+// again defensively at stream construction) so a malformed generator
+// config fails before a run starts, not mid-simulation.
 func (p *Profile) Validate() error {
+	if p.TracePath != "" {
+		// A trace-driven profile carries no synthetic knobs: the recorded
+		// file supplies the regions and the op stream.
+		if p.MemFraction != 0 || p.StreamFraction != 0 || p.SharedFraction != 0 ||
+			p.ColdFraction != 0 || p.HotLines != 0 || p.Pattern != "" ||
+			p.BurstOn != 0 || p.BurstOff != 0 || p.PhaseOps != 0 || p.PhaseNext != "" {
+			return fmt.Errorf("workload %q: trace replay cannot combine with synthetic traffic knobs", p.Name)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"MemFraction", p.MemFraction}, {"WriteFraction", p.WriteFraction},
+		{"SharedFraction", p.SharedFraction}, {"StreamFraction", p.StreamFraction},
+		{"ColdFraction", p.ColdFraction}, {"Locality", p.Locality},
+		{"HotFraction", p.HotFraction},
+	} {
+		// NaN slips through plain range comparisons (every comparison with
+		// it is false), so it is rejected by name before the range check.
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("workload %q: %s is not a finite share", p.Name, f.name)
+		}
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("workload %q: %s out of [0,1]", p.Name, f.name)
+		}
+	}
 	switch {
-	case p.MemFraction < 0 || p.MemFraction > 1,
-		p.WriteFraction < 0 || p.WriteFraction > 1,
-		p.SharedFraction < 0 || p.SharedFraction > 1,
-		p.StreamFraction < 0 || p.StreamFraction > 1,
-		p.ColdFraction < 0 || p.ColdFraction > 1,
-		p.Locality < 0 || p.Locality > 1,
-		p.HotFraction < 0 || p.HotFraction > 1:
-		return fmt.Errorf("workload %q: fraction out of [0,1]", p.Name)
 	case p.HotLines <= 0:
 		return fmt.Errorf("workload %q: empty hot working set", p.Name)
 	case p.StreamFraction > 0 && p.StreamLines <= 0:
@@ -85,6 +155,32 @@ func (p *Profile) Validate() error {
 		return fmt.Errorf("workload %q: shared accesses without a shared region", p.Name)
 	case p.ColdFraction > 0 && p.ColdLines <= 0:
 		return fmt.Errorf("workload %q: cold accesses without a cold region", p.Name)
+	}
+	switch p.Pattern {
+	case "", PatternHotspot, PatternTranspose, PatternTornado:
+	default:
+		return fmt.Errorf("workload %q: unknown pattern %q", p.Name, p.Pattern)
+	}
+	if p.Pattern != "" && p.SharedLines <= 0 {
+		return fmt.Errorf("workload %q: pattern %q needs a shared region to aim", p.Name, p.Pattern)
+	}
+	switch {
+	case p.BurstOn < 0 || p.BurstOff < 0:
+		return fmt.Errorf("workload %q: negative burst window", p.Name)
+	case p.BurstOff > 0 && p.BurstOn <= 0:
+		return fmt.Errorf("workload %q: off-only burst never issues memory traffic", p.Name)
+	}
+	switch {
+	case p.PhaseOps < 0:
+		return fmt.Errorf("workload %q: phase switch at negative operation count", p.Name)
+	case p.PhaseOps > 0 && p.PhaseNext == "":
+		return fmt.Errorf("workload %q: phase switch with no successor profile", p.Name)
+	case p.PhaseOps == 0 && p.PhaseNext != "":
+		return fmt.Errorf("workload %q: successor profile %q without a phase-switch point", p.Name, p.PhaseNext)
+	case p.PhaseNext != "" && p.PhaseNext != p.Name:
+		if _, ok := ByName(p.PhaseNext); !ok {
+			return fmt.Errorf("workload %q: phase successor %q is not a registered workload", p.Name, p.PhaseNext)
+		}
 	}
 	return nil
 }
@@ -190,23 +286,51 @@ type stream struct {
 	p         Profile
 	rng       *sim.RNG
 	core      int
+	w, h      int // mesh geometry (0 when unknown: patterns disabled)
+	ops       int64
 	hotCursor int
 	strCursor int
 }
 
-// Stream returns core coreID's deterministic instruction stream.
+// Stream returns core coreID's deterministic instruction stream. The mesh
+// geometry is unknown here, so adversarial destination patterns are
+// inert; simulation runs construct streams through StreamGeom instead.
 func (p Profile) Stream(coreID int, seed uint64) cpu.Stream {
+	return p.StreamGeom(coreID, 0, 0, seed)
+}
+
+// StreamGeom is Stream with the mesh geometry attached, which the
+// adversarial destination patterns (hotspot, transpose, tornado) need to
+// aim shared-region accesses at specific home tiles. All stream state is
+// per-core, so trace-recorded or pattern-driven runs shard exactly like
+// the stationary ones.
+func (p Profile) StreamGeom(coreID, width, height int, seed uint64) cpu.Stream {
 	if err := p.Validate(); err != nil {
 		panic(err)
+	}
+	if p.TracePath != "" {
+		panic(fmt.Sprintf("workload %q: trace-driven profiles are replayed by internal/tracefeed, not synthesized", p.Name))
 	}
 	return &stream{
 		p:    p,
 		rng:  sim.NewRNG(seed ^ (uint64(coreID)+1)*0x9E3779B97F4A7C15),
 		core: coreID,
+		w:    width,
+		h:    height,
 	}
 }
 
 func (s *stream) Next() cpu.Op {
+	if s.p.PhaseOps > 0 && s.ops >= s.p.PhaseOps {
+		s.switchPhase()
+	}
+	s.ops++
+	if s.p.BurstOn > 0 && s.p.BurstOff > 0 &&
+		(s.ops-1)%(s.p.BurstOn+s.p.BurstOff) >= s.p.BurstOn {
+		// Off window: the pipeline computes, the network rests. No RNG
+		// draw, so the on-window sequence is independent of the duty cycle.
+		return cpu.Op{Kind: cpu.OpCompute}
+	}
 	if !s.rng.Bool(s.p.MemFraction) {
 		return cpu.Op{Kind: cpu.OpCompute}
 	}
@@ -217,8 +341,58 @@ func (s *stream) Next() cpu.Op {
 	return cpu.Op{Kind: kind, Addr: s.addr()}
 }
 
+// switchPhase swaps in the successor profile: cursors restart, the RNG
+// carries over (one deterministic sequence across the whole run), and the
+// geometry stays, so a successor with a pattern aims correctly.
+func (s *stream) switchPhase() {
+	next, ok := ByName(s.p.PhaseNext)
+	if !ok {
+		// Validate checked resolvability at spec build; a registry that
+		// shrank since is a programming error.
+		panic(fmt.Sprintf("workload %q: phase successor %q vanished from the registry", s.p.Name, s.p.PhaseNext))
+	}
+	s.p = next
+	s.ops = 0
+	s.hotCursor, s.strCursor = 0, 0
+}
+
+// patternTarget returns the mesh tile this core's pattern aims at.
+// Tiles are numbered row-major (mesh.NodeID: id = y*width + x).
+func (s *stream) patternTarget() int {
+	x, y := s.core%s.w, s.core/s.w
+	switch s.p.Pattern {
+	case PatternHotspot:
+		return (s.h/2)*s.w + s.w/2 // the central tile
+	case PatternTranspose:
+		if s.w == s.h {
+			return x*s.w + y
+		}
+		return s.w*s.h - 1 - s.core // rectangular fallback: point reflection
+	default: // PatternTornado
+		return y*s.w + (x+s.w/2)%s.w
+	}
+}
+
+// patternAddr picks a shared-region line homed on the pattern's target
+// tile. Lines are interleaved across the chip's L2 banks line-by-line and
+// sharedBase is bank-aligned, so line numbers congruent to the target
+// modulo the node count land exactly there.
+func (s *stream) patternAddr() cache.Addr {
+	nodes := s.w * s.h
+	target := s.patternTarget()
+	span := s.p.SharedLines / nodes
+	if span < 1 {
+		span = 1
+	}
+	line := target + nodes*s.rng.Intn(span)
+	return sharedBase + cache.Addr(line)*lineBytes
+}
+
 func (s *stream) addr() cache.Addr {
 	if s.p.SharedFraction > 0 && s.rng.Bool(s.p.SharedFraction) {
+		if s.p.Pattern != "" && s.w > 0 && s.h > 0 {
+			return s.patternAddr()
+		}
 		n := s.p.SharedLines
 		if s.p.HotFraction > 0 && s.rng.Bool(s.p.HotFraction) {
 			hot := n / 8
@@ -331,9 +505,13 @@ func Multiprogrammed() Profile {
 	}
 }
 
-// ByName returns the named profile (any parallel app, or "mix").
+// ByName returns the named profile: "micro", "mix", any parallel app, or
+// any registered generator (Register).
 func ByName(name string) (Profile, bool) {
-	if name == "mix" {
+	switch name {
+	case "micro":
+		return Micro(), true
+	case "mix":
 		return Multiprogrammed(), true
 	}
 	for _, p := range Parallel() {
@@ -341,7 +519,7 @@ func ByName(name string) (Profile, bool) {
 			return p, true
 		}
 	}
-	return Profile{}, false
+	return registered(name)
 }
 
 // Names lists every workload the evaluation runs: the 21 parallel apps
