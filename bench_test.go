@@ -343,6 +343,27 @@ func BenchmarkChipRun(b *testing.B) {
 	reportCycleRate(b, simCycles)
 }
 
+// BenchmarkChipRunSDM is BenchmarkChipRun on the lane-sliced SDM fabric:
+// per-lane circuit tables, lane-paced bypass and the deferred teardown
+// queue are all on the hot path here. The CI bench gate pins its
+// sim_cycles/sec so lane bookkeeping cannot quietly tax the router's
+// inner loop.
+func BenchmarkChipRunSDM(b *testing.B) {
+	b.ReportAllocs()
+	c := config.Chip16()
+	v, _ := config.ByName("SDM")
+	w := workload.Micro()
+	var simCycles int64
+	for i := 0; i < b.N; i++ {
+		spec := chip.DefaultSpec(c, v, w)
+		spec.MeasureOps = 3000
+		r := chip.MustRun(spec)
+		simCycles += r.SimCycles
+		b.ReportMetric(float64(r.Cycles), "cycles")
+	}
+	reportCycleRate(b, simCycles)
+}
+
 // BenchmarkLargeMesh measures a sequential 256-core (16×16) end-to-end
 // run — the scaling point the parallel engine targets. Shards is pinned to
 // 1 so the number is the sequential engine regardless of RC_SHARDS;

@@ -81,4 +81,15 @@ func main() {
 			emit(config.Chip16(), "hotspot", v)
 		}
 	}
+	// SDM section: the lane sweep under uniform traffic pins the
+	// serialization model at every lane count; the hotspot cell pins the
+	// lane-exhaustion fallback under single-tile contention.
+	for _, v := range config.SDMVariants() {
+		emit(config.Chip16(), "micro", v)
+	}
+	for _, v := range config.SDMVariants() {
+		if v.Name == "SDM" {
+			emit(config.Chip16(), "hotspot", v)
+		}
+	}
 }

@@ -165,29 +165,67 @@ func faultScenario(c fault.Class) chip.Spec {
 	return spec
 }
 
+// sdmFaultScenario arms one corruption class with the SDM policy's
+// lane-sliced fabric active, so the detection story is re-proven against
+// per-lane circuit tables, lane-paced bypass and deferred teardown.
+// ok=false marks a structurally inapplicable class: TruncateWindow needs a
+// timed reservation, and sdm replaces time windows with lanes outright.
+func sdmFaultScenario(c fault.Class) (chip.Spec, bool) {
+	if c == fault.TruncateWindow {
+		return chip.Spec{}, false
+	}
+	w := workload.Micro()
+	plan := &fault.Plan{Class: c}
+	spec := chip.Spec{
+		WarmupOps: 1000, MeasureOps: 3000, Seed: 1,
+		Audit: true, Verify: true, VerifyEvery: 1,
+	}
+	switch c {
+	case fault.DropUndoToken:
+		w = workload.Micro().Scaled(8)
+	case fault.StallLink:
+		plan.After = 2000
+		spec.WatchdogStall = 3000
+	}
+	v, _ := config.ByName("SDM")
+	spec.Chip, spec.Variant, spec.Workload, spec.Fault = config.Chip16(), v, w, plan
+	return spec, true
+}
+
 // runFaultMatrix injects every fault class and checks the oracle that
-// catches it against the canonical mapping.
+// catches it against the canonical mapping — once in the default scenarios
+// and once with the SDM fabric active.
 func runFaultMatrix() bool {
 	fmt.Printf("fault matrix: %d classes, oracles checking every cycle\n", fault.NumClasses)
-	ok := true
-	for c := fault.Class(0); c < fault.NumClasses; c++ {
-		spec := faultScenario(c)
+	check := func(c fault.Class, spec chip.Spec, tag string) bool {
 		_, err := chip.Run(spec)
 		re := chip.AsRunError(err)
 		switch {
 		case err == nil:
-			fmt.Fprintf(os.Stderr, "  %-18s ESCAPED: run completed cleanly\n", c)
-			ok = false
+			fmt.Fprintf(os.Stderr, "  %-18s %s ESCAPED: run completed cleanly\n", c, tag)
+			return false
 		case re == nil:
-			fmt.Fprintf(os.Stderr, "  %-18s unstructured error: %v\n", c, err)
-			ok = false
+			fmt.Fprintf(os.Stderr, "  %-18s %s unstructured error: %v\n", c, tag, err)
+			return false
 		case !oracleAllowed(re.Oracle, verify.OraclesFor(c)):
-			fmt.Fprintf(os.Stderr, "  %-18s caught by %q (phase %s), want %v\n",
-				c, re.Oracle, re.Phase, verify.OraclesFor(c))
-			ok = false
-		default:
-			fmt.Printf("  %-18s caught by oracle %q at cycle %d\n", c, re.Oracle, re.Cycle)
+			fmt.Fprintf(os.Stderr, "  %-18s %s caught by %q (phase %s), want %v\n",
+				c, tag, re.Oracle, re.Phase, verify.OraclesFor(c))
+			return false
 		}
+		fmt.Printf("  %-18s %s caught by oracle %q at cycle %d\n", c, tag, re.Oracle, re.Cycle)
+		return true
+	}
+	ok := true
+	for c := fault.Class(0); c < fault.NumClasses; c++ {
+		ok = check(c, faultScenario(c), "        ") && ok
+	}
+	for c := fault.Class(0); c < fault.NumClasses; c++ {
+		spec, applies := sdmFaultScenario(c)
+		if !applies {
+			fmt.Printf("  %-18s [SDM]    n/a (sdm circuits are untimed; no window to truncate)\n", c)
+			continue
+		}
+		ok = check(c, spec, "[SDM]   ") && ok
 	}
 	return ok
 }

@@ -181,9 +181,9 @@ func TestFingerprintsPinnedAcrossPolicyRefactor(t *testing.T) {
 	}
 }
 
-// TestPolicyVariantFingerprintsDistinct: the policy-lab variants and each
-// of their tuning knobs land in distinct cache slots — never colliding with
-// a pinned legacy fingerprint or with each other.
+// TestPolicyVariantFingerprintsDistinct: the policy-lab and SDM variants
+// and each of their tuning knobs land in distinct cache slots — never
+// colliding with a pinned legacy fingerprint or with each other.
 func TestPolicyVariantFingerprintsDistinct(t *testing.T) {
 	seen := map[string]string{}
 	for name, fp := range prePolicyFingerprints {
@@ -195,7 +195,8 @@ func TestPolicyVariantFingerprintsDistinct(t *testing.T) {
 		}
 		seen[fp] = label
 	}
-	for _, v := range config.PolicyVariants() {
+	variants := append(config.PolicyVariants(), config.SDMVariants()...)
+	for _, v := range variants {
 		base := DefaultSpec(config.Chip16(), v, workload.Micro())
 		note(v.Name, base.Fingerprint())
 
@@ -210,6 +211,7 @@ func TestPolicyVariantFingerprintsDistinct(t *testing.T) {
 			"DynVCMin":            func(s *Spec) { s.Variant.Opts.DynVCMin++ },
 			"DynVCMax":            func(s *Spec) { s.Variant.Opts.DynVCMax++ },
 			"DynVCWindow":         func(s *Spec) { s.Variant.Opts.DynVCWindow++ },
+			"SDMLanes":            func(s *Spec) { s.Variant.Opts.SDMLanes++ },
 		}
 		for knob, mut := range knobs {
 			spec := DefaultSpec(config.Chip16(), v, workload.Micro())

@@ -89,6 +89,14 @@ var goldenMatrix = []goldenRow{
 	{"16-core", "hotspot", "Baseline", 5262, 1982, 791, 791, 14427, 443, 9492, 748, 13901, 13147},
 	{"16-core", "hotspot", "Reuse_NoAck", 4939, 1621, 792, 792, 15229, 444, 5646, 747, 7575, 12085},
 	{"16-core", "hotspot", "Timed_NoAck", 5321, 1973, 787, 787, 14594, 442, 8335, 744, 14320, 13093},
+	// SDM rows (internal/core policy_sdm): the lane sweep under uniform
+	// traffic pins the serialization model — per-hop latency grows with the
+	// lane count (SDM_2 < SDM < SDM_8) while flit counts stay flat — and the
+	// hotspot cell pins the lane-exhaustion fallback under contention.
+	{"16-core", "micro", "SDM", 4450, 675, 249, 249, 7697, 194, 6543, 232, 7443, 6014},
+	{"16-core", "micro", "SDM_2", 4045, 670, 247, 247, 6086, 193, 4221, 230, 5847, 6016},
+	{"16-core", "micro", "SDM_8", 5336, 675, 249, 249, 10867, 194, 11680, 232, 10670, 6014},
+	{"16-core", "hotspot", "SDM", 7174, 2005, 799, 799, 21144, 455, 17374, 751, 20820, 13359},
 }
 
 func goldenSpec(row goldenRow, t *testing.T) Spec {
@@ -112,14 +120,7 @@ func goldenSpec(row goldenRow, t *testing.T) Spec {
 			t.Fatalf("unknown workload %q", row.workload)
 		}
 	}
-	var v config.Variant
-	found := false
-	for _, cand := range config.Variants() {
-		if cand.Name == row.variant {
-			v, found = cand, true
-			break
-		}
-	}
+	v, found := config.ByName(row.variant)
 	if !found {
 		t.Fatalf("unknown variant %q", row.variant)
 	}
@@ -183,13 +184,15 @@ func TestGoldenDeterminism(t *testing.T) {
 // and sparse/dense cross-checks run: baseline, the complete mechanism, the
 // scrounger-reuse and timed-circuit variants (whose circuit-riding and
 // window-expiry paths have the trickiest pointer and scheduling lifetimes),
-// a canneal cell, and the 64-core reuse/timed cells. Under -short the
-// list trims to the 16-core distinct-mechanism cells.
+// the SDM lane-sliced cells (lane pacing and deferred teardown add the
+// newest engine-sensitive lifetimes), a canneal cell, and the 64-core
+// reuse/timed cells. Under -short the list trims to the 16-core
+// distinct-mechanism cells.
 func crossCheckRows() []int {
 	if testing.Short() {
-		return []int{0, 3, 4, 5}
+		return []int{0, 3, 4, 5, 54}
 	}
-	return []int{0, 3, 4, 5, 14, 28, 29}
+	return []int{0, 3, 4, 5, 14, 28, 29, 54, 56}
 }
 
 // TestPooledMatchesUnpooled cross-checks flit/message recycling against the

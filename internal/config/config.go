@@ -101,17 +101,48 @@ func PolicyVariants() []Variant {
 	}
 }
 
+// SDMVariants returns the spatial-division multiplexing presets (PAPERS.md:
+// Zaeemi & Modarressi): the complete mechanism with every mesh link split
+// into lanes, one reserved for packet traffic and the rest held
+// one-per-circuit. SDM is the 4-lane default; SDM_2 and SDM_8 bracket the
+// serialization/parallelism trade-off. Like the policy-lab variants they
+// ride every sweep (SweepVariants) but stay out of Variants(), the paper's
+// exact inventory.
+func SDMVariants() []Variant {
+	mk := func(name string, lanes int) Variant {
+		// No NoAck: lane-paced circuit flits may stall, so the ack
+		// elimination's delivery guarantee (Section 4.6) does not hold —
+		// the sdm policy rejects the combination outright.
+		o := core.Options{
+			Mechanism:          core.MechComplete,
+			MaxCircuitsPerPort: 5,
+			Policy:             "sdm",
+			SDMLanes:           lanes,
+		}
+		if err := o.Validate(); err != nil {
+			panic(fmt.Sprintf("config: variant %s invalid: %v", name, err))
+		}
+		return Variant{Name: name, Opts: o}
+	}
+	return []Variant{
+		mk("SDM", 4),
+		mk("SDM_2", 2),
+		mk("SDM_8", 8),
+	}
+}
+
 // SweepVariants returns every comparable sweep column: the paper's
-// variants followed by the policy-lab variants.
+// variants followed by the policy-lab variants and the SDM presets.
 func SweepVariants() []Variant {
-	return append(Variants(), PolicyVariants()...)
+	return append(append(Variants(), PolicyVariants()...), SDMVariants()...)
 }
 
 // TuneGrid returns the candidate grid the closed-loop tuner (cmd/rctune)
 // sweeps per workload: the Baseline and Reuse anchors plus the timed
 // family across its Slack/Postponed knob range — including Slack_8 and
 // Postponed_2 points beyond the paper's figures, so the per-app optimum
-// can land outside the published inventory.
+// can land outside the published inventory — and the SDM lane sweep, the
+// spatial alternative to every timed knob.
 func TuneGrid() []Variant {
 	mk := func(name string, mod func(*core.Options)) Variant {
 		o := completeBase()
@@ -122,7 +153,7 @@ func TuneGrid() []Variant {
 		}
 		return Variant{Name: name, Opts: o}
 	}
-	return []Variant{
+	grid := []Variant{
 		{Name: "Baseline", Opts: core.Options{}},
 		mk("Reuse_NoAck", func(o *core.Options) { o.Reuse = true }),
 		mk("Timed_NoAck", func(o *core.Options) { o.Timed = true }),
@@ -138,6 +169,9 @@ func TuneGrid() []Variant {
 		mk("Postponed_1_NoAck", func(o *core.Options) { o.Timed = true; o.PostponePerHop = 1 }),
 		mk("Postponed_2_NoAck", func(o *core.Options) { o.Timed = true; o.PostponePerHop = 2 }),
 	}
+	// The SDM lane sweep joins after the timed family so tuner reports
+	// keep their historical column order.
+	return append(grid, SDMVariants()...)
 }
 
 // The variant registry is built once: every preset from Variants,
@@ -152,7 +186,8 @@ var (
 func registry() map[string]Variant {
 	regOnce.Do(func() {
 		regMap = map[string]Variant{}
-		all := append(append(Variants(), PolicyVariants()...), Comparators()...)
+		all := append(append(Variants(), PolicyVariants()...), SDMVariants()...)
+		all = append(all, Comparators()...)
 		all = append(all, TuneGrid()...)
 		for _, v := range all {
 			if _, dup := regMap[v.Name]; dup {

@@ -39,11 +39,12 @@ func TestPolicyVariantsValidAndSeparate(t *testing.T) {
 }
 
 // TestSweepVariantsOrder: sweeps run the paper's columns first, then the
-// policy lab, with no duplicates.
+// policy lab, then the SDM presets, with no duplicates.
 func TestSweepVariantsOrder(t *testing.T) {
 	sv := SweepVariants()
-	if len(sv) != len(Variants())+len(PolicyVariants()) {
-		t.Fatalf("SweepVariants has %d entries, want %d", len(sv), len(Variants())+len(PolicyVariants()))
+	want := len(Variants()) + len(PolicyVariants()) + len(SDMVariants())
+	if len(sv) != want {
+		t.Fatalf("SweepVariants has %d entries, want %d", len(sv), want)
 	}
 	seen := map[string]bool{}
 	for i, v := range Variants() {
@@ -119,6 +120,7 @@ func TestVariantsForPolicy(t *testing.T) {
 		"fragmented":      {"Fragmented"},
 		"profiled-hybrid": {"ProfiledHybrid"},
 		"dynamic-vc":      {"DynamicVC"},
+		"sdm":             {"SDM", "SDM_2", "SDM_8"},
 		"probe-setup":     nil,
 	} {
 		got := VariantsForPolicy(policy)

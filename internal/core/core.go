@@ -128,6 +128,13 @@ type Options struct {
 	DynVCMin    int `json:",omitempty"`
 	DynVCMax    int `json:",omitempty"`
 	DynVCWindow int `json:",omitempty"`
+
+	// SDMLanes tunes the sdm policy: every mesh link splits into this many
+	// equal-width lanes — lane 0 reserved for packet traffic, the rest held
+	// one-per-circuit — and per-flit link serialization stretches by the
+	// lane fraction. Zero means the policy's default (4); valid values are
+	// 2..8.
+	SDMLanes int `json:",omitempty"`
 }
 
 // Validate rejects inconsistent option combinations by resolving the

@@ -408,6 +408,9 @@ func (mg *Manager) Bypass(id mesh.NodeID, f *noc.Flit, in mesh.Dir, now sim.Cycl
 	if outVC < 0 {
 		outVC = 0
 	}
+	// The flit inherits the circuit's SDM lane for its next link traversal
+	// (0 — the packet lane's slot — under lane-less policies).
+	f.Lane = e.lane
 	return e.out, outVC, true
 }
 

@@ -132,6 +132,7 @@ func init() {
 	RegisterPolicy("probe-setup", func() Policy { return probePolicy{} })
 	RegisterPolicy("profiled-hybrid", func() Policy { return &profiledPolicy{} })
 	RegisterPolicy("dynamic-vc", func() Policy { return &dynVCPolicy{} })
+	RegisterPolicy("sdm", func() Policy { return &sdmPolicy{} })
 }
 
 // PolicyFor resolves the policy an Options selects: the explicit Policy

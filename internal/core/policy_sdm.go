@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"reactivenoc/internal/mesh"
+	"reactivenoc/internal/noc"
+	"reactivenoc/internal/sim"
+	"reactivenoc/internal/trace"
+)
+
+// sdmPolicy implements spatial-division multiplexing (PAPERS.md: Zaeemi &
+// Modarressi, "Ultra Low-Power SDM-based Circuit-Switching for NoCs"): every
+// mesh link splits into SDMLanes equal-width lanes, lane 0 stays reserved
+// for packet traffic, and each circuit claims one of the remaining lanes
+// end-to-end instead of arbitrating the full-width link by time window. Up
+// to SDMLanes-1 circuits coexist on one physical channel with no window
+// conflicts; the price is serialization — a flit on a 1/L-width lane takes
+// L-1 extra cycles per hop, for circuits and packets alike.
+//
+// The reservation is all-or-nothing like the complete mechanism, but the
+// circuit VC keeps its buffer: lane-paced circuit flits legally wait in the
+// bypass queue, bounded by the VC's credits. Teardown and undo release
+// per-lane entries through the manager's deferred-op epilogue (cycleFlusher),
+// so the policy is shardable by construction — no shard clears a neighbour's
+// table mid-phase.
+type sdmPolicy struct {
+	completeFamily
+
+	lanes int
+
+	// pendingTear holds the records whose teardown walks were requested
+	// this cycle, sliced by the shard of the circuit's source NI; the
+	// epilogue drains them in shard order, which with contiguous tile bands
+	// is ascending NI order — the sequential engine's visit order.
+	pendingTear [][]*record
+	// tears counts deferred teardown walks per shard.
+	tears []int64
+}
+
+// laneAware is implemented by policies that arbitrate circuits by SDM lane
+// instead of the output-port conflict rule; the lane-conservation oracle
+// (CheckTables) keys on it.
+type laneAware interface {
+	LaneCount() int
+}
+
+func (p *sdmPolicy) Name() string { return "sdm" }
+
+func (p *sdmPolicy) LaneCount() int { return p.lanes }
+
+func (p *sdmPolicy) Validate(o *Options) error {
+	if o.Mechanism != MechComplete {
+		return fmt.Errorf("core: policy %q builds on the complete mechanism (set MechComplete)", "sdm")
+	}
+	if err := validateNotSpeculative(o); err != nil {
+		return err
+	}
+	if o.MaxCircuitsPerPort <= 0 {
+		return fmt.Errorf("core: sdm circuits need MaxCircuitsPerPort > 0")
+	}
+	if o.Timed {
+		return fmt.Errorf("core: sdm replaces time windows with lanes; Timed does not apply")
+	}
+	if o.NoAck {
+		// Section 4.6 removes the L1_DATA_ACK only when the reply is
+		// guaranteed to ride a non-blocking circuit. Lane-paced flits wait
+		// legally (BypassBuffered), so a later forward can overtake the
+		// reply; the directory's ack handshake is what closes that race.
+		return fmt.Errorf("core: sdm circuits are lane-paced and may stall; NoAck's delivery guarantee does not hold")
+	}
+	if err := validateTimed(o); err != nil {
+		return err
+	}
+	if o.SDMLanes != 0 && (o.SDMLanes < 2 || o.SDMLanes > 8) {
+		return fmt.Errorf("core: sdm needs 2..8 lanes (got %d)", o.SDMLanes)
+	}
+	return nil
+}
+
+// NetConfig keeps the complete variants' single circuit VC but leaves it
+// buffered — lane-paced flits wait in the bypass queue under credit flow
+// control — and divides every mesh link into the configured lane count.
+func (p *sdmPolicy) NetConfig(cfg *noc.NetConfig, o *Options) {
+	cfg.ReplyCircuitVCs = 1
+	cfg.RepRouting = mesh.RouteYX
+	cfg.LinkLanes = orDefault(o.SDMLanes, 4)
+}
+
+func (p *sdmPolicy) Attach(mg *Manager) {
+	p.lanes = orDefault(mg.opts.SDMLanes, 4)
+	p.pendingTear = make([][]*record, 1)
+	p.tears = make([]int64, 1)
+}
+
+// setShards re-partitions the deferred-teardown queues; must run before any
+// traffic (and before DescribeMetrics registers the counter slots).
+func (p *sdmPolicy) setShards(mg *Manager) {
+	p.pendingTear = make([][]*record, mg.nshards)
+	p.tears = make([]int64, mg.nshards)
+}
+
+func (p *sdmPolicy) DescribeMetrics(reg *sim.Registry) {
+	for s := range p.tears {
+		reg.Counter("circ/sdm_deferred_teardowns", &p.tears[s])
+	}
+}
+
+// Reserve claims a free circuit lane on the reply's output link (the port
+// the request entered through) and installs the reversed entry. Lane
+// exhaustion — every circuit lane of that link already claimed — fails the
+// whole circuit, like a window conflict under the complete mechanism.
+func (p *sdmPolicy) Reserve(mg *Manager, id mesh.NodeID, msg *noc.Message, in, out mesh.Dir, w *walk, now sim.Cycle) {
+	if msg.BuildFailed {
+		return // a failed all-or-nothing circuit reserves nothing further
+	}
+	tb := mg.tables[id]
+	lane := tb.freeLane(in, p.lanes, now)
+	if lane < 0 {
+		mg.failCircuit(id, msg, in, now, &mg.st(id).ReserveFailedConflict)
+		return
+	}
+	cvc := mg.circuitVC()
+	e := entry{
+		built: true, dest: msg.Src, block: msg.Block,
+		out: in, outVC: cvc, vc: cvc,
+		winStart: 0, winEnd: noWindow, lane: lane,
+	}
+	ins, ord := tb.insert(out, e, mg.opts.MaxCircuitsPerPort, now)
+	if ins == nil {
+		mg.failCircuit(id, msg, in, now, &mg.st(id).ReserveFailedStorage)
+		return
+	}
+	if mg.fault != nil && mg.fault.FlipBuiltBit(id, now) {
+		ins.built = false
+	}
+	mg.noteOrdinal(id, ord)
+	mg.net.EventsAt(id).CircuitWrites++
+	w.lastReserved = true
+	if mg.tracer != nil {
+		mg.tracer.Record(now, trace.Reserve, msg.ID, id,
+			fmt.Sprintf("in=%v out=%v lane=%d", out, in, lane))
+	}
+}
+
+// Teardown defers the lane-releasing undo walk to the cycle epilogue: the
+// walk clears the entry at the circuit's source tile and sends an undo
+// credit down the reply path, both of which may belong to another shard.
+func (p *sdmPolicy) Teardown(mg *Manager, rec *record, now sim.Cycle) {
+	s := mg.shard(rec.src)
+	p.pendingTear[s] = append(p.pendingTear[s], rec)
+}
+
+// flushCycle drains the deferred teardowns in shard order, enqueue order
+// within each shard — identical to the order the sequential engine would
+// have performed them inline.
+func (p *sdmPolicy) flushCycle(mg *Manager, now sim.Cycle) {
+	for s := range p.pendingTear {
+		pend := p.pendingTear[s]
+		for i, rec := range pend {
+			pend[i] = nil
+			p.tears[s]++
+			p.basePolicy.Teardown(mg, rec, now)
+		}
+		p.pendingTear[s] = pend[:0]
+	}
+}
+
+// BypassBuffered: lane pacing makes circuit flits wait legally (in the
+// bypass queue, bounded by the circuit VC's credits).
+func (p *sdmPolicy) BypassBuffered() bool { return true }
+
+// ConflictChecked is false: entries from different inputs may share an
+// output port — on different lanes. The lane-conservation branch of the
+// circuit-table oracle replaces the window-conflict rule.
+func (p *sdmPolicy) ConflictChecked() bool { return false }

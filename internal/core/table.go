@@ -29,6 +29,9 @@ type entry struct {
 	// winStart/winEnd bound the flit arrival cycles of a timed
 	// reservation; winEnd == noWindow means untimed.
 	winStart, winEnd sim.Cycle
+	// lane is the SDM lane the circuit holds on the output link (0 for
+	// policies that do not divide links: the window rule arbitrates there).
+	lane int
 	// inUse is the message currently riding this entry.
 	inUse *noc.Message
 }
@@ -131,6 +134,29 @@ func (t *table) freeVC(d mesh.Dir, firstVC, n int, now sim.Cycle) int {
 		}
 		if !taken {
 			return vc
+		}
+	}
+	return -1
+}
+
+// freeLane returns the lowest circuit lane (1..lanes-1; lane 0 is the
+// reserved packet lane) that no active entry in the whole table holds on
+// output port out, or -1 when every circuit lane of that link is claimed.
+// The scan covers all inputs because the lanes belong to the physical
+// output link, not to any input unit.
+func (t *table) freeLane(out mesh.Dir, lanes int, now sim.Cycle) int {
+	for lane := 1; lane < lanes; lane++ {
+		taken := false
+		for in := mesh.Dir(0); in < mesh.NumDirs && !taken; in++ {
+			for _, e := range t.inputs[in] {
+				if e.active(now) && e.out == out && e.lane == lane {
+					taken = true
+					break
+				}
+			}
+		}
+		if !taken {
+			return lane
 		}
 	}
 	return -1

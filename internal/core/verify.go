@@ -19,6 +19,11 @@ import (
 // unbounded window, so any pair sharing an output is a conflict).
 func (mg *Manager) CheckTables(now sim.Cycle) error {
 	checkConflicts := mg.pol.ConflictChecked()
+	if la, ok := mg.pol.(laneAware); ok {
+		if err := mg.checkLanes(la.LaneCount(), now); err != nil {
+			return err
+		}
+	}
 	for id, tb := range mg.tables {
 		for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
 			if cap := mg.opts.MaxCircuitsPerPort; cap > 0 {
@@ -40,6 +45,44 @@ func (mg *Manager) CheckTables(now sim.Cycle) error {
 								"router %d output %v double-booked: circuit (%d,%#x) from %v window [%d,%d] overlaps circuit (%d,%#x) from %v window [%d,%d]",
 								id, e.out, e.dest, e.block, d, e.winStart, e.winEnd,
 								e2.dest, e2.block, d2, e2.winStart, e2.winEnd)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkLanes is the lane-conservation oracle for SDM-style policies: every
+// live reservation must hold a circuit lane (1..lanes-1; lane 0 is the
+// reserved packet lane), and no two live reservations at one router may
+// hold the same lane of the same output link — the spatial analogue of the
+// complete mechanism's window-conflict rule, which laneAware policies
+// replace.
+func (mg *Manager) checkLanes(lanes int, now sim.Cycle) error {
+	for id, tb := range mg.tables {
+		for d := mesh.Dir(0); d < mesh.NumDirs; d++ {
+			for i, e := range tb.inputs[d] {
+				if !e.active(now) {
+					continue
+				}
+				if e.lane < 1 || e.lane >= lanes {
+					return fmt.Errorf(
+						"router %d input %v circuit (%d,%#x) holds lane %d outside the circuit lanes 1..%d",
+						id, d, e.dest, e.block, e.lane, lanes-1)
+				}
+				for d2 := d; d2 < mesh.NumDirs; d2++ {
+					others := tb.inputs[d2]
+					lo := 0
+					if d2 == d {
+						lo = i + 1
+					}
+					for _, e2 := range others[lo:] {
+						if e2.active(now) && e2.out == e.out && e2.lane == e.lane {
+							return fmt.Errorf(
+								"router %d output %v lane %d double-booked: circuit (%d,%#x) from %v and circuit (%d,%#x) from %v",
+								id, e.out, e.lane, e.dest, e.block, d, e2.dest, e2.block, d2)
 						}
 					}
 				}

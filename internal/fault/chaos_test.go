@@ -146,6 +146,48 @@ func TestChaosWatchdogFallback(t *testing.T) {
 	}
 }
 
+// TestChaosSDM re-runs the fault classes with the SDM policy's lane-sliced
+// fabric active: the detection story must survive per-lane circuit tables,
+// lane-paced bypass and deferred teardown. TruncateWindow is structurally
+// inapplicable — sdm rejects Timed, so no timed reservation ever exists to
+// truncate — and is pinned as such so its absence here is a decision, not
+// an oversight.
+func TestChaosSDM(t *testing.T) {
+	sdm, _ := config.ByName("SDM")
+	if sdm.Opts.Timed {
+		t.Fatal("SDM preset became timed: revisit the TruncateWindow exclusion")
+	}
+	for c := fault.Class(0); c < fault.NumClasses; c++ {
+		var spec chip.Spec
+		switch c {
+		case fault.FlipBuiltBit:
+			spec = chaosSpec(t, "SDM", workload.Micro())
+			spec.Fault = &fault.Plan{Class: c}
+		case fault.DropUndoToken:
+			// Scaled-up traffic keeps the undo walks (lane releases travel
+			// as undo credits under sdm too) frequent enough to swallow one.
+			spec = chaosSpec(t, "SDM", workload.Micro().Scaled(8))
+			spec.Fault = &fault.Plan{Class: c}
+		case fault.TruncateWindow:
+			continue // structurally N/A: sdm circuits are untimed
+		case fault.WithholdCredit:
+			spec = chaosSpec(t, "SDM", workload.Micro())
+			spec.Fault = &fault.Plan{Class: c}
+		case fault.StallLink:
+			spec = chaosSpec(t, "SDM", workload.Micro())
+			spec.Fault = &fault.Plan{Class: c, After: 2000}
+			spec.WatchdogStall = 3000
+		default:
+			t.Fatalf("fault class %v has no SDM chaos scenario: add one (or pin it N/A)", c)
+		}
+		c, spec := c, spec
+		t.Run(c.String(), func(t *testing.T) {
+			t.Parallel()
+			mustDetectBy(t, spec, verify.OraclesFor(c))
+		})
+	}
+}
+
 // TestChaosEveryClassDetected sweeps the whole enumeration so a future
 // class cannot be added without a detection story.
 func TestChaosEveryClassDetected(t *testing.T) {

@@ -32,10 +32,43 @@ type Link struct {
 	// the sequential engine's immediate push.
 	staged  bool
 	pending []linkSlot
+	// lanes > 1 divides the wire into equal-width SDM lanes: a flit on a
+	// 1/lanes-width lane serializes over lanes cycles, so its traversal
+	// stretches by lanes-1 cycles and the lane refuses a new flit until the
+	// previous one has fully left the sender (laneNext). Only the sending
+	// shard touches laneNext, so the lane clocks stay race-free when the
+	// link itself is staged across a shard boundary.
+	lanes    int
+	laneNext []sim.Cycle
 }
 
 // SetWake installs the receiver's wake callback (nil clears it).
 func (l *Link) SetWake(fn func()) { l.wake = fn }
+
+// SetLanes divides the link into n equal-width lanes (n <= 1 leaves it
+// undivided). Flits carry their lane in Flit.Lane; senders must check
+// LaneFree before driving a divided link.
+func (l *Link) SetLanes(n int) {
+	if n <= 1 {
+		l.lanes, l.laneNext = 0, nil
+		return
+	}
+	l.lanes = n
+	l.laneNext = make([]sim.Cycle, n)
+}
+
+// Lanes returns the lane count (0 or 1 = undivided).
+func (l *Link) Lanes() int { return l.lanes }
+
+// LaneFree reports whether the given lane can accept a flit at cycle now.
+// Undivided links are always free — the one-flit-per-cycle rule is enforced
+// by Send itself.
+func (l *Link) LaneFree(lane int, now sim.Cycle) bool {
+	if l.lanes <= 1 {
+		return true
+	}
+	return l.laneNext[lane] <= now
+}
 
 // SetStaged marks the link as crossing a shard boundary: sends are staged
 // until Flush instead of landing in the receiver-visible queue.
@@ -75,6 +108,20 @@ func (l *Link) SendDelayed(f *Flit, now sim.Cycle, extra sim.Cycle) {
 	}
 	l.hasSent = true
 	l.lastSend = now
+	if l.lanes > 1 {
+		if f.Lane < 0 || f.Lane >= l.lanes {
+			panic(fmt.Sprintf("noc: flit on lane %d of a %d-lane link", f.Lane, l.lanes))
+		}
+		if l.laneNext[f.Lane] > now {
+			panic(fmt.Sprintf("noc: lane %d driven at cycle %d while busy until %d",
+				f.Lane, now, l.laneNext[f.Lane]))
+		}
+		l.laneNext[f.Lane] = now + sim.Cycle(l.lanes)
+		// The 1/lanes-width lane needs lanes cycles to serialize the flit;
+		// the first sub-flit spends linkDelay on the wire, the last arrives
+		// lanes-1 cycles later.
+		extra += sim.Cycle(l.lanes - 1)
+	}
 	slot := linkSlot{f: f, readyAt: now + linkDelay + extra}
 	if l.staged {
 		l.pending = append(l.pending, slot)

@@ -54,6 +54,15 @@ type NetConfig struct {
 	// free-lists only change where objects come from, never what the
 	// simulation does with them.
 	NoPool bool
+
+	// LinkLanes divides every inter-router link into that many equal-width
+	// lanes (spatial-division multiplexing): lane 0 carries packet traffic,
+	// lanes 1..LinkLanes-1 carry one circuit each. A flit on a 1/L-width
+	// lane serializes over L cycles, so per-flit link latency grows by
+	// LinkLanes-1 cycles and each lane accepts a new flit only every
+	// LinkLanes cycles. 0 or 1 leaves links undivided. NI injection and
+	// ejection links are never divided.
+	LinkLanes int
 }
 
 // Validate checks internal consistency.
@@ -72,6 +81,12 @@ func (c *NetConfig) Validate() error {
 	if c.ReplyCircuitVCs < 0 || c.ReplyCircuitVCs >= c.VCsPerVN[VNReply] {
 		return fmt.Errorf("noc: %d circuit VCs leaves no non-circuit reply VC (reply VN has %d)",
 			c.ReplyCircuitVCs, c.VCsPerVN[VNReply])
+	}
+	if c.LinkLanes != 0 && (c.LinkLanes < 2 || c.LinkLanes > 8) {
+		return fmt.Errorf("noc: %d link lanes (want 0, or 2..8)", c.LinkLanes)
+	}
+	if c.LinkLanes > 1 && c.Speculative {
+		return fmt.Errorf("noc: speculative router cannot drive lane-divided links")
 	}
 	return nil
 }

@@ -76,6 +76,9 @@ func NewNetwork(cfg NetConfig, handler CircuitHandler, hook NIHook) *Network {
 				continue
 			}
 			flits, credits := &Link{}, &CreditLink{}
+			// SDM divides only the mesh wires; the NI injection/ejection
+			// links wired above stay full-width.
+			flits.SetLanes(cfg.LinkLanes)
 			n.routers[id].addOutput(d, flits, credits)
 			n.routers[nb].addInput(d.Opposite(), flits, credits)
 		}

@@ -121,6 +121,10 @@ type Flit struct {
 	VC int
 	// OnCircuit marks a flit travelling on the reactive-circuit bypass.
 	OnCircuit bool
+	// Lane is the SDM lane the flit occupies on the next lane-divided link
+	// it traverses: 0 (the reserved packet lane) for granted traffic, the
+	// circuit's claimed lane for bypass traffic. Ignored by undivided links.
+	Lane int
 
 	// arrivedAt is the cycle the flit became visible at the current
 	// router, gating switch-allocation eligibility.

@@ -382,10 +382,15 @@ func (r *Router) stage3ST(now sim.Cycle) {
 		if buffered && op.credits[g.vn][vc.outVC] <= 0 {
 			continue // credit consumed since allocation; retry
 		}
+		if !op.link.LaneFree(0, now) {
+			r.ev.Retries++
+			continue // packet lane still serializing; retry
+		}
 		vc.buf.Pop()
 		p.occupancy--
 		r.ev.BufReads++
 		f.VC = vc.outVC
+		f.Lane = 0 // granted traffic rides the reserved packet lane
 		r.sendFlit(op, d, f, now)
 		if buffered {
 			op.credits[g.vn][vc.outVC]--
@@ -434,6 +439,12 @@ func (r *Router) runBypass(usedIn, usedOut *[mesh.NumDirs]bool, outUser *[mesh.N
 		}
 		needCredit := e.out != mesh.Local && r.cfg.VCBuffered(e.vn, e.outVC)
 		if !stall && needCredit && op.credits[e.vn][e.outVC] <= 0 {
+			stall = true
+		}
+		// On lane-divided links the circuit's lane (stamped on the flit by
+		// the handler's Bypass) must have finished serializing its previous
+		// flit before the next may enter the wire.
+		if !stall && !op.link.LaneFree(e.f.Lane, now) {
 			stall = true
 		}
 		if stall {
@@ -594,6 +605,11 @@ func (r *Router) stage3SAAlloc(now sim.Cycle) {
 				op := r.out[vc.route]
 				if vc.route != mesh.Local && r.cfg.VCBuffered(slot.vn, vc.outVC) &&
 					op.credits[slot.vn][vc.outVC] <= 0 {
+					ok = false
+				}
+				// The grant executes next cycle; skip outputs whose packet
+				// lane will still be serializing then.
+				if ok && !op.link.LaneFree(0, now+1) {
 					ok = false
 				}
 			}

@@ -48,6 +48,11 @@ const (
 	// memLatency sizes the timed-reservation counters: windows must reach
 	// past a memory round trip.
 	memLatency = 160
+
+	// laneSerdes is the per-extra-lane, per-mesh-port cost of SDM link
+	// slicing: the serializer/deserializer pair and the lane-steering muxes
+	// that multiplex a full-width flit onto a 1/L-width lane.
+	laneSerdes = 220.0
 )
 
 // addrBits returns the node-identifier width.
@@ -64,6 +69,7 @@ type RouterConfig struct {
 	BufferedVCs int
 	CircEntries int // circuit-information entries per input port
 	TimerBits   int // timed-window counter bits per entry (0 if untimed)
+	LinkLanes   int // SDM lanes per mesh link (0/1 = undivided)
 	Nodes       int
 }
 
@@ -90,6 +96,18 @@ func ConfigFor(nodes int, opts core.Options) RouterConfig {
 	case core.MechComplete:
 		rc.BufferedVCs = 3 // the circuit VC loses its buffer
 		rc.CircEntries = opts.MaxCircuitsPerPort
+		if opts.Policy == "sdm" {
+			// The sdm policy keeps the circuit VC's buffer (lane-paced
+			// flits wait under credit flow control) and provisions the
+			// lane-sliced mesh links; each entry also stores its lane index
+			// (charged in Budget).
+			rc.BufferedVCs = 4
+			lanes := opts.SDMLanes
+			if lanes <= 0 {
+				lanes = 4
+			}
+			rc.LinkLanes = lanes
+		}
 	case core.MechIdeal:
 		// Unbounded storage: not a feasible design; area is reported for
 		// reference with the same entry count as complete circuits.
@@ -138,11 +156,20 @@ func (a AreaBudget) Total() float64 {
 
 // Budget returns the router's itemized area.
 func (rc RouterConfig) Budget() AreaBudget {
+	eb := entryBits(rc.Nodes, rc.TimerBits)
+	fixed := fixedBase + fixedPerAddrBit*float64(addrBits(rc.Nodes))
+	if rc.LinkLanes > 1 {
+		// SDM: each circuit entry stores its lane index, and every mesh
+		// port carries the serdes/steering logic of its extra lanes (the
+		// local port's NI links stay full-width).
+		eb += bits.Len(uint(rc.LinkLanes - 1))
+		fixed += laneSerdes * float64(rc.LinkLanes-1) * (ports - 1)
+	}
 	return AreaBudget{
 		Buffers:     float64(rc.BufferedVCs*ports*bufDepth*flitBits) * sramBit,
 		VCState:     float64(rc.TotalVCs*ports) * vcStateBits * regBit,
-		CircuitInfo: float64(rc.CircEntries*ports*entryBits(rc.Nodes, rc.TimerBits)) * regBit,
-		Fixed:       fixedBase + fixedPerAddrBit*float64(addrBits(rc.Nodes)),
+		CircuitInfo: float64(rc.CircEntries*ports*eb) * regBit,
+		Fixed:       fixed,
 	}
 }
 

@@ -170,6 +170,55 @@ func TestAddrBits(t *testing.T) {
 	}
 }
 
+// TestSDMRouterInventory: the sdm policy keeps the full buffer complement
+// (lane-paced flits wait under credit flow control), provisions the
+// configured lane count (defaulting to 4), and pays for it — serdes per
+// extra lane per mesh port plus a lane-index field in every circuit
+// entry — so more lanes must cost strictly more area.
+func TestSDMRouterInventory(t *testing.T) {
+	base := core.Options{Mechanism: core.MechComplete, MaxCircuitsPerPort: 5, Policy: "sdm"}
+
+	rc := ConfigFor(16, base)
+	if rc.BufferedVCs != 4 {
+		t.Fatalf("sdm BufferedVCs = %d, want 4 (packet lane keeps its buffers)", rc.BufferedVCs)
+	}
+	if rc.LinkLanes != 4 {
+		t.Fatalf("default sdm LinkLanes = %d, want 4", rc.LinkLanes)
+	}
+
+	lanes := func(n int) RouterConfig {
+		o := base
+		o.SDMLanes = n
+		return ConfigFor(16, o)
+	}
+	if got := lanes(8).LinkLanes; got != 8 {
+		t.Fatalf("SDMLanes=8 gave LinkLanes=%d", got)
+	}
+	a2, a4, a8 := lanes(2).RouterArea(), lanes(4).RouterArea(), lanes(8).RouterArea()
+	if !(a2 < a4 && a4 < a8) {
+		t.Fatalf("area must grow with lane count: %v, %v, %v", a2, a4, a8)
+	}
+
+	// The lane cost lands in serdes (Fixed) and the entry's lane-index
+	// bits (CircuitInfo); buffers stay the baseline complement.
+	plain := ConfigFor(16, core.Options{Mechanism: core.MechComplete, MaxCircuitsPerPort: 5})
+	b4, bPlain := lanes(4).Budget(), plain.Budget()
+	if b4.Fixed <= bPlain.Fixed {
+		t.Fatal("lane serdes must grow the fixed logic area")
+	}
+	if b4.CircuitInfo <= bPlain.CircuitInfo {
+		t.Fatal("lane-index bits must widen the circuit entries")
+	}
+	if b4.Buffers <= bPlain.Buffers {
+		t.Fatal("sdm keeps the circuit VC's buffer; plain complete sheds it")
+	}
+
+	// A complete-mechanism variant without the sdm policy never slices links.
+	if plain.LinkLanes != 0 {
+		t.Fatalf("plain complete LinkLanes = %d, want 0 (policy leak?)", plain.LinkLanes)
+	}
+}
+
 // TestDynamicVCRouterInventory: the dynamic-vc policy provisions its
 // maximum reserved-VC partition in hardware — the area model must charge
 // for DynVCMax buffered VCs (plus 2 request VCs and 1 ordinary reply VC),

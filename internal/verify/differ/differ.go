@@ -34,7 +34,14 @@ type RunFunc func(ctx context.Context, spec chip.Spec) (*chip.Results, error)
 func SpecFromSeed(seed uint64) chip.Spec {
 	rng := sim.NewRNG(seed ^ 0x9e3779b97f4a7c15)
 
-	variants := append(config.SweepVariants(), config.Comparators()[1:3]...)
+	// The variant pool freezes the pre-SDM composition explicitly — the
+	// paper's variants, the two policy-lab presets, then comparators [1:3]
+	// — so the first draw's modulus never changes and every committed
+	// corpus seed keeps deriving the spec it always did. New variant
+	// families join via draws appended at the end, never by widening this
+	// pool (SweepVariants grows with each family and must not be used here).
+	variants := append(append(config.Variants(), config.PolicyVariants()...),
+		config.Comparators()[1:3]...)
 	v := variants[rng.Intn(len(variants))]
 
 	var w workload.Profile
@@ -71,6 +78,15 @@ func SpecFromSeed(seed uint64) chip.Spec {
 	if rng.Intn(4) == 0 {
 		gens := tracefeed.Generators()
 		w = gens[rng.Intn(len(gens))]
+	}
+
+	// SDM column: ~1 in 5 seeds swaps the variant for a spatial-division
+	// preset, lane count drawn from {2, 4, 8}. Appended after every
+	// pre-existing draw (including the generator swap above) so older
+	// corpus seeds reproduce identically.
+	if rng.Intn(5) == 0 {
+		sdm := config.SDMVariants()
+		v = sdm[rng.Intn(len(sdm))]
 	}
 
 	return chip.Spec{

@@ -6,6 +6,9 @@ import (
 
 	"reactivenoc/internal/chip"
 	"reactivenoc/internal/config"
+	"reactivenoc/internal/core"
+	"reactivenoc/internal/fault"
+	"reactivenoc/internal/verify"
 	"reactivenoc/internal/workload"
 )
 
@@ -50,6 +53,83 @@ func TestPolicyConformance(t *testing.T) {
 				t.Fatalf("policy %q (variant %s): %v", name, v.Name, err)
 			}
 		})
+	}
+}
+
+// policyFaultExpectations derives, from a policy's own predicates, which
+// fault classes its armed oracles promise to catch: credit conservation is
+// variant-independent, the registry cross-check applies when the policy
+// advertises RegistryChecked, and the online leak oracle when LeakChecked.
+// Deriving from the predicates (instead of a hand-kept table) means a new
+// policy is automatically held to exactly the oracles it claims.
+func policyFaultExpectations(pol core.Policy, opts core.Options) []fault.Class {
+	expect := []fault.Class{fault.WithholdCredit}
+	if pol.RegistryChecked() {
+		expect = append(expect, fault.FlipBuiltBit)
+	}
+	if pol.LeakChecked(&opts) {
+		expect = append(expect, fault.DropUndoToken)
+	}
+	return expect
+}
+
+// TestPolicyConformanceOracles closes the inverse gap of the conformance
+// gauntlet: a clean run proves the policy violates no armed oracle, but not
+// that the oracles have teeth under that policy. For every registered
+// policy, each fault class its predicates map to an oracle is injected into
+// the verify-armed representative cell, and the run must fail through
+// exactly that oracle — a fault that never fires makes the cell vacuous and
+// fails too.
+func TestPolicyConformanceOracles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy conformance runs full simulations")
+	}
+	for _, name := range config.PolicyNames() {
+		name := name
+		v, ok := config.VariantForPolicy(name)
+		if !ok {
+			t.Fatalf("policy %q has no registered representative variant", name)
+		}
+		pol, err := core.PolicyFor(v.Opts)
+		if err != nil {
+			t.Fatalf("policy %q: %v", name, err)
+		}
+		for _, c := range policyFaultExpectations(pol, v.Opts) {
+			c := c
+			t.Run(name+"/"+c.String(), func(t *testing.T) {
+				t.Parallel()
+				s := policySpec(v)
+				s.VerifyEvery = 1
+				s.Fault = &fault.Plan{Class: c}
+				if c == fault.DropUndoToken {
+					// Undo walks need reservation churn to be frequent
+					// enough for one token to be swallowed mid-walk.
+					s.Workload = workload.Micro().Scaled(8)
+				}
+				res, err := chip.RunCtx(context.Background(), s)
+				if err == nil {
+					if res != nil && len(res.Faults) > 0 {
+						t.Fatalf("silent escape: %d injected %v faults produced a clean result", len(res.Faults), c)
+					}
+					t.Fatalf("%v never fired under policy %q: the oracle-teeth cell is vacuous; tune the plan", c, name)
+				}
+				re := chip.AsRunError(err)
+				if re == nil {
+					t.Fatalf("error is not a *chip.RunError: %v", err)
+				}
+				if len(re.Faults) == 0 {
+					t.Fatalf("run failed but the fault log is empty: %v", re)
+				}
+				want := verify.OraclesFor(c)
+				for _, w := range want {
+					if re.Oracle == w {
+						return
+					}
+				}
+				t.Fatalf("%v under policy %q caught by %q (phase %s: %s), want oracle in %v",
+					c, name, re.Oracle, re.Phase, re.Msg, want)
+			})
+		}
 	}
 }
 
